@@ -1,0 +1,71 @@
+//! **E7 / §IV-B** — FuseCache complexity: `O(k·log²n)` vs k-way merge
+//! `O(n log k)` vs flatten-and-sort `O(N log N)`.
+//!
+//! The paper's claim: FuseCache wins increasingly as `n ≫ k`. Expect the
+//! FuseCache series to stay near-flat as `n` grows 16× while both
+//! baselines grow roughly linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elmem_core::fusecache::{fusecache, kway_top_n, sort_merge_top_n};
+use elmem_store::Hotness;
+use elmem_util::{DetRng, KeyId, SimTime};
+
+fn make_lists(k: usize, n_per_list: usize, seed: u64) -> Vec<Vec<Hotness>> {
+    let mut rng = DetRng::seed(seed);
+    let mut key = 0u64;
+    (0..k)
+        .map(|_| {
+            let mut l: Vec<Hotness> = (0..n_per_list)
+                .map(|_| {
+                    key += 1;
+                    Hotness::new(SimTime::from_nanos(rng.next_below(1 << 40)), KeyId(key))
+                })
+                .collect();
+            l.sort_unstable_by(|a, b| b.cmp(a));
+            l
+        })
+        .collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("top_n_selection");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let k = 8usize;
+        let lists = make_lists(k, n, 42);
+        let refs: Vec<&[Hotness]> = lists.iter().map(|l| l.as_slice()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fusecache", n), &n, |b, &n| {
+            b.iter(|| fusecache(&refs, n))
+        });
+        group.bench_with_input(BenchmarkId::new("kway_heap", n), &n, |b, &n| {
+            b.iter(|| kway_top_n(&refs, n))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_merge", n), &n, |b, &n| {
+            b.iter(|| sort_merge_top_n(&refs, n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusecache_vs_k");
+    let n = 20_000usize;
+    for &k in &[2usize, 8, 32, 128] {
+        let lists = make_lists(k, n / k, 7);
+        let refs: Vec<&[Hotness]> = lists.iter().map(|l| l.as_slice()).collect();
+        group.bench_with_input(BenchmarkId::new("fusecache", k), &k, |b, _| {
+            b.iter(|| fusecache(&refs, n / 2))
+        });
+        group.bench_with_input(BenchmarkId::new("kway_heap", k), &k, |b, _| {
+            b.iter(|| kway_top_n(&refs, n / 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_selection, bench_scaling_in_k
+}
+criterion_main!(benches);

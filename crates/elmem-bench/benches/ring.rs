@@ -1,0 +1,41 @@
+//! Consistent-hashing throughput: key placement is on the critical path of
+//! every cache lookup in the client library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elmem_hash::HashRing;
+use elmem_util::{KeyId, NodeId};
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_lookup");
+    for &nodes in &[10u32, 100, 1000] {
+        let ring = HashRing::new((0..nodes).map(NodeId), 128);
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(BenchmarkId::new("node_for", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for k in 0..10_000u64 {
+                    acc ^= u64::from(ring.node_for(KeyId(k)).unwrap().0);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_build");
+    for &nodes in &[10u32, 100] {
+        group.bench_with_input(BenchmarkId::new("new", nodes), &nodes, |b, &n| {
+            b.iter(|| HashRing::new((0..n).map(NodeId), 128).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lookup, bench_build
+}
+criterion_main!(benches);

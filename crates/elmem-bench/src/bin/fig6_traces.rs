@@ -1,0 +1,112 @@
+//! **E3 / Fig. 6(a–e)** — Hit rate and 95%ile RT for ElMem vs baseline on
+//! all five traces, with the paper's scaling actions:
+//!
+//! * (a) SYS: 10 → 7
+//! * (b) ETC: 10 → 9 and 9 → 10
+//! * (c) SAP: 10 → 9 and 9 → 8
+//! * (d) NLANR: 8 → 9 and 9 → 8
+//! * (e) Microsoft: 10 → 9 and 9 → 8
+//!
+//! Expected shape: ElMem reduces the average post-scaling p95 degradation
+//! by ~88–97% on scale-in and ~81% on scale-out.
+
+use elmem_bench::exp::{
+    degradation_reduction, laptop_experiment, post_event_window_p95, print_summary_row,
+};
+use elmem_core::{run_experiment, MigrationPolicy, ScaleAction};
+use elmem_util::SimTime;
+use elmem_workload::TraceKind;
+
+fn minutes(m: u64) -> SimTime {
+    SimTime::from_secs(m * 60)
+}
+
+fn main() {
+    type Case = (TraceKind, u32, Vec<(SimTime, ScaleAction)>, &'static str);
+    let cases: Vec<Case> = vec![
+        (
+            TraceKind::FacebookSys,
+            10,
+            vec![(minutes(30), ScaleAction::In { count: 3 })],
+            "(a) SYS: 10 -> 7",
+        ),
+        (
+            TraceKind::FacebookEtc,
+            10,
+            vec![
+                (minutes(25), ScaleAction::In { count: 1 }),
+                (minutes(45), ScaleAction::Out { count: 1 }),
+            ],
+            "(b) ETC: 10 -> 9 -> 10",
+        ),
+        (
+            TraceKind::Sap,
+            10,
+            vec![
+                (minutes(18), ScaleAction::In { count: 1 }),
+                (minutes(35), ScaleAction::In { count: 1 }),
+            ],
+            "(c) SAP: 10 -> 9 -> 8",
+        ),
+        (
+            TraceKind::Nlanr,
+            8,
+            vec![
+                (minutes(12), ScaleAction::Out { count: 1 }),
+                (minutes(38), ScaleAction::In { count: 1 }),
+            ],
+            "(d) NLANR: 8 -> 9 -> 8",
+        ),
+        (
+            TraceKind::Microsoft,
+            10,
+            vec![
+                (minutes(20), ScaleAction::In { count: 1 }),
+                (minutes(40), ScaleAction::In { count: 1 }),
+            ],
+            "(e) Microsoft: 10 -> 9 -> 8",
+        ),
+    ];
+
+    println!("== Fig. 6: ElMem vs baseline across all traces ==");
+    for (trace, nodes, scheduled, label) in cases {
+        println!("\n-- {label} --");
+        let seed = 1000 + trace.name().len() as u64;
+        let baseline = run_experiment(laptop_experiment(
+            trace,
+            nodes,
+            MigrationPolicy::Baseline,
+            scheduled.clone(),
+            seed,
+        ));
+        let elmem = run_experiment(laptop_experiment(
+            trace,
+            nodes,
+            MigrationPolicy::elmem(),
+            scheduled,
+            seed,
+        ));
+        print_summary_row("baseline", &baseline);
+        print_summary_row("elmem", &elmem);
+        let mean_hit = |tl: &[elmem_util::stats::TimelinePoint]| -> f64 {
+            let pts: Vec<_> = tl.iter().filter(|p| p.requests > 0).collect();
+            pts.iter().map(|p| p.hit_rate).sum::<f64>() / pts.len().max(1) as f64
+        };
+        println!(
+            "mean hit rate: baseline {:.3}, elmem {:.3}",
+            mean_hit(&baseline.timeline),
+            mean_hit(&elmem.timeline)
+        );
+        println!(
+            "post-scaling degradation reduction: {:.1}%",
+            degradation_reduction(&baseline, &elmem)
+        );
+        let wb = post_event_window_p95(&baseline, 600);
+        let we = post_event_window_p95(&elmem, 600);
+        println!(
+            "10-min post-event windows: baseline {wb:.2} ms, elmem {we:.2} ms ({:.1}% reduction)",
+            (wb - we) / wb.max(1e-9) * 100.0
+        );
+    }
+    println!("\n(paper: reductions of 88% SYS, 96% ETC, 90% SAP, 92% NLANR, 97% Microsoft)");
+}

@@ -1,0 +1,229 @@
+//! Shared experiment scaffolding: the laptop-scale deployment (a 1:8
+//! shrink of the paper's testbed that preserves the ratios that drive the
+//! dynamics) and result formatting.
+
+use elmem_cluster::ClusterConfig;
+use elmem_core::migration::MigrationCosts;
+use elmem_core::{ExperimentConfig, ExperimentResult, MigrationPolicy, ScaleAction};
+use elmem_util::stats::{degradation_summary, DegradationSummary, TimelinePoint};
+use elmem_store::SizeClasses;
+use elmem_util::{ByteSize, SimTime};
+use elmem_workload::{Keyspace, TraceKind, WorkloadConfig};
+
+/// Keys in the laptop-scale keyspace. Chosen so the 10-node tier
+/// (10 × 64 MB ≈ 1.15 M chunked items) holds ~97% of the popularity mass
+/// but *not* the whole keyspace — the paper's regime: a steady-state hit
+/// rate just high enough that the database sits close to (but under) its
+/// capacity at peak demand, so scaling-induced misses overwhelm it.
+pub const LAPTOP_KEYS: u64 = 1_400_000;
+
+/// Per-request multi-get fan-out.
+pub const ITEMS_PER_REQUEST: usize = 5;
+
+/// Peak request rate, req/s. At 5 lookups/request and r_DB ≈ 167/s the
+/// Eq. (1) threshold sits at p_min ≈ 0.96 at peak — the paper's regime:
+/// the steady-state cache keeps the database comfortably below capacity,
+/// but losing any node's data pushes it well past the knee.
+pub const PEAK_RATE: f64 = 833.0;
+
+/// Zipf popularity exponent.
+pub const ZIPF: f64 = 1.0;
+
+/// Hottest ranks prefilled before each run (the whole keyspace: the tier
+/// starts warm, like the paper's steady state).
+pub const PREFILL_RANKS: u64 = LAPTOP_KEYS;
+
+/// The laptop-scale deployment: 10 × 64 MB nodes, r_DB ≈ 167 req/s.
+pub fn laptop_cluster(initial_nodes: u32) -> ClusterConfig {
+    ClusterConfig {
+        initial_nodes,
+        node_memory: ByteSize::from_mib(64),
+        vnodes: 128,
+        db_servers: 1,
+        db_service: SimTime::from_millis(6),
+        db_shed_delay: SimTime::from_secs(2),
+        mc_latency: SimTime::from_micros(200),
+        web_overhead: SimTime::from_millis(4),
+        nic_bandwidth: 125_000_000.0,
+        nic_latency: SimTime::from_micros(100),
+        slab_classes: SizeClasses::new(96, 2.0, ByteSize::PAGE.as_u64()),
+    }
+}
+
+/// The laptop-scale workload over a published trace shape.
+pub fn laptop_workload(trace: TraceKind, seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        keyspace: Keyspace::new(LAPTOP_KEYS, seed),
+        zipf_exponent: ZIPF,
+        items_per_request: ITEMS_PER_REQUEST,
+        peak_rate: PEAK_RATE,
+        trace: trace.demand_trace(),
+    }
+}
+
+/// A full experiment config with scripted scaling actions.
+pub fn laptop_experiment(
+    trace: TraceKind,
+    initial_nodes: u32,
+    policy: MigrationPolicy,
+    scheduled: Vec<(SimTime, ScaleAction)>,
+    seed: u64,
+) -> ExperimentConfig {
+    ExperimentConfig {
+        cluster: laptop_cluster(initial_nodes),
+        workload: laptop_workload(trace, seed),
+        policy,
+        autoscaler: None,
+        scheduled,
+        prefill_top_ranks: PREFILL_RANKS,
+        costs: MigrationCosts::default(),
+        seed,
+    }
+}
+
+/// Restoration threshold used in degradation summaries: "stable" means the
+/// per-second p95 is back under this many milliseconds.
+pub const RESTORE_THRESHOLD_MS: f64 = 25.0;
+
+/// Summarizes post-scaling degradation relative to the run's first commit.
+pub fn summarize(result: &ExperimentResult) -> Option<DegradationSummary> {
+    let commit = result.first_commit_second()?;
+    Some(degradation_summary(
+        &result.timeline,
+        commit,
+        RESTORE_THRESHOLD_MS,
+    ))
+}
+
+/// Prints a timeline as `second hit_rate p95_ms` rows, sampled every
+/// `every` seconds.
+pub fn print_timeline(name: &str, timeline: &[TimelinePoint], every: u64) {
+    println!("# {name}: second hit_rate p95_ms requests");
+    for p in timeline.iter().filter(|p| p.second % every == 0) {
+        println!(
+            "{:>6} {:>6.3} {:>9.2} {:>7}",
+            p.second, p.hit_rate, p.p95_ms, p.requests
+        );
+    }
+}
+
+/// Prints one summary row of a policy run.
+pub fn print_summary_row(label: &str, result: &ExperimentResult) {
+    match summarize(result) {
+        Some(s) => {
+            let restore = s
+                .restoration_secs
+                .map(|r| format!("{r}s"))
+                .unwrap_or_else(|| "never".to_string());
+            println!(
+                "{label:<12} pre_p95={:>8.2}ms  post_mean_p95={:>9.2}ms  peak_p95={:>9.2}ms  restoration={restore}",
+                s.pre_p95_ms, s.mean_p95_ms, s.peak_p95_ms
+            );
+        }
+        None => println!("{label:<12} (no scaling event)"),
+    }
+}
+
+/// Mean p95 over the `window` seconds after each scaling event (union of
+/// per-event windows) — the way the paper's per-figure numbers focus on
+/// the post-scaling episode rather than the whole tail of the run.
+pub fn post_event_window_p95(result: &ExperimentResult, window: u64) -> f64 {
+    let windows: Vec<(u64, u64)> = result
+        .events
+        .iter()
+        .map(|e| {
+            let s = e.committed_at.as_secs();
+            (s, s + window)
+        })
+        .collect();
+    let pts: Vec<&TimelinePoint> = result
+        .timeline
+        .iter()
+        .filter(|p| p.requests > 0 && windows.iter().any(|&(a, b)| p.second >= a && p.second < b))
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    pts.iter().map(|p| p.p95_ms).sum::<f64>() / pts.len() as f64
+}
+
+/// Percentage reduction of mean post-scaling p95 vs a baseline run.
+pub fn degradation_reduction(baseline: &ExperimentResult, other: &ExperimentResult) -> f64 {
+    let b = summarize(baseline).map(|s| s.mean_p95_ms).unwrap_or(0.0);
+    let o = summarize(other).map(|s| s.mean_p95_ms).unwrap_or(0.0);
+    if b <= 0.0 {
+        0.0
+    } else {
+        (b - o) / b * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laptop_cluster_ratios() {
+        let c = laptop_cluster(10);
+        assert!((c.r_db() - 166.67).abs() < 0.01);
+        assert_eq!(c.initial_nodes, 10);
+    }
+
+    #[test]
+    fn workload_uses_trace_shape() {
+        let w = laptop_workload(TraceKind::FacebookSys, 1);
+        assert_eq!(w.trace.samples().len(), 60);
+        assert_eq!(w.items_per_request, ITEMS_PER_REQUEST);
+    }
+
+    fn fake_result(event_second: u64, p95: impl Fn(u64) -> f64) -> ExperimentResult {
+        use elmem_core::ScalingEvent;
+        ExperimentResult {
+            timeline: (0..1000)
+                .map(|s| TimelinePoint {
+                    second: s,
+                    hit_rate: 1.0,
+                    p95_ms: p95(s),
+                    mean_ms: p95(s) / 2.0,
+                    requests: 10,
+                })
+                .collect(),
+            events: vec![ScalingEvent {
+                decided_at: SimTime::from_secs(event_second),
+                committed_at: SimTime::from_secs(event_second),
+                from_nodes: 4,
+                to_nodes: 3,
+                nodes: vec![],
+                report: None,
+            }],
+            final_members: 3,
+            total_requests: 10_000,
+        }
+    }
+
+    #[test]
+    fn post_event_window_covers_only_the_window() {
+        // p95 = 100 inside [300, 360), 5 elsewhere.
+        let r = fake_result(300, |s| if (300..360).contains(&s) { 100.0 } else { 5.0 });
+        let w60 = post_event_window_p95(&r, 60);
+        assert!((w60 - 100.0).abs() < 1e-9, "w60 {w60}");
+        // A 600 s window dilutes with the quiet tail.
+        let w600 = post_event_window_p95(&r, 600);
+        assert!(w600 < 20.0, "w600 {w600}");
+    }
+
+    #[test]
+    fn degradation_reduction_is_relative() {
+        let bad = fake_result(100, |s| if s >= 100 { 100.0 } else { 5.0 });
+        let good = fake_result(100, |s| if s >= 100 { 10.0 } else { 5.0 });
+        let red = degradation_reduction(&bad, &good);
+        assert!((red - 90.0).abs() < 1.0, "reduction {red}");
+    }
+
+    #[test]
+    fn summarize_none_without_events() {
+        let mut r = fake_result(100, |_| 5.0);
+        r.events.clear();
+        assert!(summarize(&r).is_none());
+    }
+}

@@ -1,0 +1,5 @@
+//! Experiment harness shared by the `fig*`/`tab*` binaries that regenerate
+//! every table and figure of the paper (see DESIGN.md §4 for the index and
+//! EXPERIMENTS.md for recorded results).
+
+pub mod exp;

@@ -1,0 +1,131 @@
+//! Cluster configuration.
+
+use elmem_store::SizeClasses;
+use elmem_util::{ByteSize, SimTime};
+
+/// Parameters of the simulated deployment.
+///
+/// The defaults in [`ClusterConfig::paper_scale`] mirror the paper's
+/// testbed (§V-A): 10 Memcached VMs with 4 GB memory each, a database
+/// bottleneck of 4,000 req/s, and sub-millisecond cache access. The
+/// experiments in `elmem-bench` use [`ClusterConfig::laptop_scale`], a
+/// proportionally shrunk deployment that preserves every ratio that
+/// matters (cache-to-dataset size, r_DB-to-demand, migration bandwidth to
+/// bytes moved) while running in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Initial number of cache nodes.
+    pub initial_nodes: u32,
+    /// Memory per cache node.
+    pub node_memory: ByteSize,
+    /// Virtual points per node on the hash ring.
+    pub vnodes: u32,
+    /// Database servers (cores).
+    pub db_servers: usize,
+    /// Database per-fetch service time. Capacity r_DB =
+    /// `db_servers / service_time`.
+    pub db_service: SimTime,
+    /// Database admission bound: fetches arriving when the backlog exceeds
+    /// this are shed (client-observed timeout, no data). Bounds the tail
+    /// latency during overload, as real databases do.
+    pub db_shed_delay: SimTime,
+    /// Mean Memcached get latency on a hit.
+    pub mc_latency: SimTime,
+    /// Fixed web-tier processing overhead added to each request's RT
+    /// (PHP parse + response assembly in the paper's stack).
+    pub web_overhead: SimTime,
+    /// NIC bandwidth per node, bytes/s (migration traffic).
+    pub nic_bandwidth: f64,
+    /// NIC per-transfer latency.
+    pub nic_latency: SimTime,
+    /// Slab size-class ladder for every node's store. Must be coarse
+    /// enough that the node's page count comfortably exceeds the number of
+    /// classes, or most classes can never obtain a page ("slab
+    /// calcification") and sets fail.
+    pub slab_classes: SizeClasses,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed scale: 10 nodes × 4 GB, r_DB = 4,000 req/s
+    /// (8 servers × 2 ms), 0.2 ms cache hits, 1 Gbit/s NICs.
+    pub fn paper_scale() -> Self {
+        ClusterConfig {
+            initial_nodes: 10,
+            node_memory: ByteSize::from_gib(4),
+            vnodes: 128,
+            db_servers: 8,
+            db_service: SimTime::from_millis(2),
+            db_shed_delay: SimTime::from_secs(2),
+            mc_latency: SimTime::from_micros(200),
+            web_overhead: SimTime::from_millis(4),
+            nic_bandwidth: 125_000_000.0,
+            nic_latency: SimTime::from_micros(100),
+            slab_classes: SizeClasses::memcached_default(),
+        }
+    }
+
+    /// A 1:64 shrink of [`paper_scale`](Self::paper_scale): 10 nodes ×
+    /// 64 MB against a proportionally smaller keyspace, r_DB = 500 req/s.
+    /// Same ratios, seconds-long runs.
+    pub fn laptop_scale() -> Self {
+        ClusterConfig {
+            initial_nodes: 10,
+            node_memory: ByteSize::from_mib(64),
+            vnodes: 128,
+            db_servers: 4,
+            db_service: SimTime::from_millis(8),
+            db_shed_delay: SimTime::from_secs(2),
+            mc_latency: SimTime::from_micros(200),
+            web_overhead: SimTime::from_millis(4),
+            nic_bandwidth: 125_000_000.0,
+            nic_latency: SimTime::from_micros(100),
+            // 64 pages per node vs ~15 classes: every class can get pages.
+            slab_classes: SizeClasses::new(96, 2.0, ByteSize::PAGE.as_u64()),
+        }
+    }
+
+    /// A tiny 4-node × 4 MB config for unit tests.
+    pub fn small_test() -> Self {
+        ClusterConfig {
+            initial_nodes: 4,
+            node_memory: ByteSize::from_mib(4),
+            vnodes: 32,
+            db_servers: 2,
+            db_service: SimTime::from_millis(4),
+            db_shed_delay: SimTime::from_secs(2),
+            mc_latency: SimTime::from_micros(200),
+            web_overhead: SimTime::from_millis(4),
+            nic_bandwidth: 125_000_000.0,
+            nic_latency: SimTime::from_micros(100),
+            // 4 pages per node: keep the ladder tiny (~8 classes).
+            slab_classes: SizeClasses::new(96, 4.0, ByteSize::PAGE.as_u64()),
+        }
+    }
+
+    /// The database capacity r_DB implied by this config, req/s.
+    pub fn r_db(&self) -> f64 {
+        self.db_servers as f64 / self.db_service.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_r_db_is_4000() {
+        assert!((ClusterConfig::paper_scale().r_db() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laptop_scale_r_db_is_500() {
+        assert!((ClusterConfig::laptop_scale().r_db() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_test_is_small() {
+        let c = ClusterConfig::small_test();
+        assert!(c.initial_nodes <= 4);
+        assert!(c.node_memory <= ByteSize::from_mib(8));
+    }
+}

@@ -1,0 +1,327 @@
+//! The web tier's serving path: multi-get, miss handling, response times.
+
+use elmem_hash::HashRing;
+use elmem_util::{DetRng, KeyId, NodeId, SimTime};
+use elmem_workload::{Keyspace, WebRequest};
+
+use crate::config::ClusterConfig;
+use crate::db::DbModel;
+use crate::tier::CacheTier;
+
+/// Result of serving one web request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// The request's response time (weighted average of per-item latencies
+    /// plus web-tier overhead, per §V-A).
+    pub rt: SimTime,
+    /// When the last item fetch completed (used for timeline bucketing).
+    pub completion: SimTime,
+    /// Cache lookups that hit.
+    pub hits: u64,
+    /// Total cache lookups.
+    pub lookups: u64,
+}
+
+impl RequestOutcome {
+    /// Response time in fractional milliseconds.
+    pub fn rt_ms(&self) -> f64 {
+        self.rt.as_millis_f64()
+    }
+}
+
+/// The full serving stack: cache tier + database + web-tier behaviour.
+///
+/// A `get` that hits is answered in cache latency; a miss goes to the
+/// database (absorbing its queueing delay) and the fetched pair is inserted
+/// into the responsible cache node, "possibly leading to evictions" (§V-A).
+///
+/// For the CacheScale comparator (§V-B4), a *secondary ring* can be armed:
+/// misses on the primary retry on the secondary's node; secondary hits are
+/// *promoted* (migrated) to the primary node.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The cache tier.
+    pub tier: CacheTier,
+    /// The database model.
+    pub db: DbModel,
+    keyspace: Keyspace,
+    latency_rng: DetRng,
+    secondary: Option<HashRing>,
+    promoted: u64,
+    secondary_hits: u64,
+}
+
+impl Cluster {
+    /// Builds the stack from a config, a keyspace and an RNG.
+    pub fn new(config: ClusterConfig, keyspace: Keyspace, rng: DetRng) -> Self {
+        let db = DbModel::new(
+            config.db_servers,
+            config.db_service,
+            config.db_shed_delay,
+            rng.split("db"),
+        );
+        Cluster {
+            tier: CacheTier::new(config),
+            db,
+            keyspace,
+            latency_rng: rng.split("mc-latency"),
+            secondary: None,
+            promoted: 0,
+            secondary_hits: 0,
+        }
+    }
+
+    /// The keyspace driving value sizes.
+    pub fn keyspace(&self) -> &Keyspace {
+        &self.keyspace
+    }
+
+    /// Serves one web request at its arrival time.
+    pub fn handle(&mut self, req: &WebRequest) -> RequestOutcome {
+        let now = req.arrival;
+        let mut hits = 0u64;
+        let mut sum = SimTime::ZERO;
+        let mut worst = SimTime::ZERO;
+        for &key in &req.keys {
+            let (latency, hit) = self.lookup_and_fill(key, now);
+            if hit {
+                hits += 1;
+            }
+            sum += latency;
+            worst = worst.max(latency);
+        }
+        let overhead = self.tier.config().web_overhead;
+        let mean = if req.keys.is_empty() {
+            SimTime::ZERO
+        } else {
+            sum / req.keys.len() as u64
+        };
+        RequestOutcome {
+            rt: overhead + mean,
+            completion: now + overhead + worst,
+            hits,
+            lookups: req.keys.len() as u64,
+        }
+    }
+
+    /// One cache lookup with fill-on-miss; returns (latency, hit).
+    pub fn lookup_and_fill(&mut self, key: KeyId, now: SimTime) -> (SimTime, bool) {
+        let primary = self.tier.node_for_key(key);
+        if let Some(node_id) = primary {
+            let hit = {
+                let node = self.tier.node_mut(node_id).expect("member node exists");
+                node.is_online() && node.store.get(key, now).is_some()
+            };
+            if hit {
+                return (self.mc_latency(), true);
+            }
+            // CacheScale path: retry on the secondary (retiring) nodes.
+            if let Some(promoted) = self.try_secondary(key, node_id, now) {
+                return (promoted, true);
+            }
+            // Miss: fetch from the database and fill the cache. A shed
+            // fetch (database overloaded) returns no data: the client eats
+            // the timeout and nothing is cached.
+            let fetch = self.db.fetch(now);
+            if fetch.is_served() {
+                let size = self.keyspace.value_size(key);
+                let node = self.tier.node_mut(node_id).expect("member node exists");
+                if node.is_online() {
+                    let _ = node.store.set(key, size, now);
+                }
+            }
+            (fetch.completion() - now + self.mc_latency(), false)
+        } else {
+            // No cache tier at all: straight to the database.
+            (self.db.fetch(now).completion() - now, false)
+        }
+    }
+
+    fn try_secondary(&mut self, key: KeyId, primary: NodeId, now: SimTime) -> Option<SimTime> {
+        let ring = self.secondary.as_ref()?;
+        let sec_node = ring.node_for(key)?;
+        if sec_node == primary {
+            return None;
+        }
+        let item = {
+            let node = self.tier.node_mut(sec_node).ok()?;
+            if !node.is_online() {
+                return None;
+            }
+            node.store.get(key, now)?
+        };
+        self.secondary_hits += 1;
+        // Promote: move the pair to the primary node (CacheScale migration).
+        let moved = {
+            let node = self.tier.node_mut(sec_node).expect("checked above");
+            node.store.delete(key)
+        };
+        if moved {
+            let node = self.tier.node_mut(primary).expect("member node exists");
+            if node.is_online() && node.store.set(key, item.value_size, now).is_ok() {
+                self.promoted += 1;
+            }
+        }
+        // Two cache hops: primary miss + secondary hit.
+        Some(self.mc_latency() + self.mc_latency())
+    }
+
+    /// Arms the CacheScale secondary ring (the pre-scaling membership whose
+    /// retiring nodes act as a secondary cache).
+    pub fn arm_secondary(&mut self, ring: HashRing) {
+        self.secondary = Some(ring);
+    }
+
+    /// Disarms the secondary ring (CacheScale's discard step).
+    pub fn disarm_secondary(&mut self) {
+        self.secondary = None;
+    }
+
+    /// Whether a secondary ring is armed.
+    pub fn secondary_armed(&self) -> bool {
+        self.secondary.is_some()
+    }
+
+    /// Items promoted from secondary to primary (CacheScale metric).
+    pub fn promoted(&self) -> u64 {
+        self.promoted
+    }
+
+    /// Secondary-cache hits (CacheScale metric).
+    pub fn secondary_hits(&self) -> u64 {
+        self.secondary_hits
+    }
+
+    /// Pre-fills caches by directly setting keys on their current owners
+    /// (used to start experiments warm, like the paper's steady state).
+    pub fn prefill(&mut self, keys: impl Iterator<Item = KeyId>, start: SimTime) {
+        let mut t = start;
+        for key in keys {
+            if let Some(node_id) = self.tier.node_for_key(key) {
+                let size = self.keyspace.value_size(key);
+                let node = self.tier.node_mut(node_id).expect("member node exists");
+                if node.is_online() {
+                    let _ = node.store.set(key, size, t);
+                }
+                t += SimTime::from_nanos(1);
+            }
+        }
+    }
+
+    fn mc_latency(&mut self) -> SimTime {
+        // Exponential jitter around the configured mean.
+        let mean = self.tier.config().mc_latency.as_secs_f64();
+        SimTime::from_secs_f64(self.latency_rng.next_exp(1.0 / mean))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(
+            ClusterConfig::small_test(),
+            Keyspace::new(10_000, 0),
+            DetRng::seed(1),
+        )
+    }
+
+    fn req(arrival_ms: u64, keys: &[u64]) -> WebRequest {
+        WebRequest {
+            arrival: SimTime::from_millis(arrival_ms),
+            keys: keys.iter().map(|&k| KeyId(k)).collect(),
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cluster();
+        let first = c.handle(&req(0, &[1]));
+        assert_eq!(first.hits, 0);
+        assert_eq!(first.lookups, 1);
+        let second = c.handle(&req(100, &[1]));
+        assert_eq!(second.hits, 1);
+        // Hits are much faster than DB misses.
+        assert!(second.rt < first.rt);
+    }
+
+    #[test]
+    fn rt_includes_web_overhead() {
+        let mut c = cluster();
+        c.prefill((0..10).map(KeyId), SimTime::ZERO);
+        let out = c.handle(&req(10, &[1, 2, 3]));
+        assert!(out.rt >= c.tier.config().web_overhead);
+        assert_eq!(out.hits, 3);
+    }
+
+    #[test]
+    fn miss_fills_cache_on_owner() {
+        let mut c = cluster();
+        let key = KeyId(77);
+        let owner = c.tier.node_for_key(key).unwrap();
+        c.handle(&req(0, &[77]));
+        assert!(c.tier.node(owner).unwrap().store.contains(key));
+    }
+
+    #[test]
+    fn prefill_makes_requests_hit() {
+        let mut c = cluster();
+        c.prefill((0..1000).map(KeyId), SimTime::ZERO);
+        let out = c.handle(&req(1, &[5, 500, 999]));
+        assert_eq!(out.hits, 3);
+    }
+
+    #[test]
+    fn scale_in_without_migration_causes_misses() {
+        let mut c = cluster();
+        c.prefill((0..1000).map(KeyId), SimTime::ZERO);
+        // Find keys owned by node 0.
+        let owned: Vec<u64> = (0..1000)
+            .filter(|&k| c.tier.node_for_key(KeyId(k)) == Some(NodeId(0)))
+            .collect();
+        assert!(!owned.is_empty());
+        c.tier.immediate_scale_in(&[NodeId(0)]).unwrap();
+        let out = c.handle(&req(1, &owned[..3.min(owned.len())]));
+        assert_eq!(out.hits, 0, "keys formerly on node0 must now miss");
+    }
+
+    #[test]
+    fn secondary_ring_promotes() {
+        let mut c = cluster();
+        c.prefill((0..2000).map(KeyId), SimTime::ZERO);
+        let old_ring = c.tier.membership().ring().clone();
+        // Retire node 0 from membership but keep it online (CacheScale).
+        let victims: Vec<u64> = (0..2000)
+            .filter(|&k| old_ring.node_for(KeyId(k)) == Some(NodeId(0)))
+            .collect();
+        c.tier.membership_remove_keep_online(&[NodeId(0)]).unwrap();
+        c.arm_secondary(old_ring);
+        let k = victims[0];
+        let out = c.handle(&req(1, &[k]));
+        assert_eq!(out.hits, 1, "secondary hit should count as hit");
+        assert_eq!(c.promoted(), 1);
+        // The item now lives on the primary owner.
+        let new_owner = c.tier.node_for_key(KeyId(k)).unwrap();
+        assert!(c.tier.node(new_owner).unwrap().store.contains(KeyId(k)));
+        assert!(!c.tier.node(NodeId(0)).unwrap().store.contains(KeyId(k)));
+    }
+
+    #[test]
+    fn disarm_secondary_stops_promotion() {
+        let mut c = cluster();
+        c.arm_secondary(c.tier.membership().ring().clone());
+        assert!(c.secondary_armed());
+        c.disarm_secondary();
+        assert!(!c.secondary_armed());
+    }
+
+    #[test]
+    fn empty_request_is_overhead_only() {
+        let mut c = cluster();
+        let out = c.handle(&req(0, &[]));
+        assert_eq!(out.lookups, 0);
+        assert_eq!(out.rt, c.tier.config().web_overhead);
+    }
+}

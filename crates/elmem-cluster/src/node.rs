@@ -1,0 +1,93 @@
+//! One Memcached node: slab store + NIC link.
+
+use elmem_sim::Link;
+use elmem_store::{SlabStore, StoreConfig};
+use elmem_util::{NodeId, SimTime};
+
+/// A cache node in the Memcached tier.
+///
+/// Holds the storage engine and the NIC [`Link`] that the node's ElMem
+/// Agent uses for migration traffic. Whether the node is *in the client
+/// membership* is tracked by the tier, not the node — mirroring the paper's
+/// design where "Memcached nodes are not aware of the key range that they
+/// … are responsible for storing" (§II-A).
+#[derive(Debug, Clone)]
+pub struct CacheNode {
+    id: NodeId,
+    /// The storage engine (public: agents operate on it directly, like the
+    /// paper's Agents do via the patched Memcached commands).
+    pub store: SlabStore,
+    /// NIC used for migration transfers.
+    pub link: Link,
+    store_config: StoreConfig,
+    online: bool,
+}
+
+impl CacheNode {
+    /// Boots a node with the given storage and NIC parameters.
+    pub fn new(
+        id: NodeId,
+        store_config: StoreConfig,
+        nic_bandwidth: f64,
+        nic_latency: SimTime,
+    ) -> Self {
+        CacheNode {
+            id,
+            store: SlabStore::new(store_config.clone()),
+            link: Link::new(nic_bandwidth, nic_latency),
+            store_config,
+            online: true,
+        }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the node is powered on.
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Powers the node off (scale-in directive from the Master). The store
+    /// contents are dropped — a turned-off cache node's DRAM is gone.
+    pub fn power_off(&mut self) {
+        self.online = false;
+        self.store = SlabStore::new(self.store_config.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmem_util::KeyId;
+
+    #[test]
+    fn power_off_drops_contents() {
+        let mut n = CacheNode::new(
+            NodeId(1),
+            StoreConfig::with_memory(elmem_util::ByteSize::from_mib(4)),
+            1e9,
+            SimTime::from_micros(10),
+        );
+        n.store.set(KeyId(1), 100, SimTime::from_secs(1)).unwrap();
+        assert_eq!(n.store.len(), 1);
+        n.power_off();
+        assert!(!n.is_online());
+        assert_eq!(n.store.len(), 0);
+    }
+
+    #[test]
+    fn new_node_is_online_and_empty() {
+        let n = CacheNode::new(
+            NodeId(0),
+            StoreConfig::with_memory(elmem_util::ByteSize::from_mib(4)),
+            1e9,
+            SimTime::from_micros(10),
+        );
+        assert!(n.is_online());
+        assert!(n.store.is_empty());
+        assert_eq!(n.id(), NodeId(0));
+    }
+}

@@ -1,0 +1,99 @@
+//! Serving-path behavior under database saturation: shed fetches return no
+//! data (no cache fill), latencies stay bounded by the admission control,
+//! and the cache warms at roughly the database's service rate.
+
+use elmem_cluster::{Cluster, ClusterConfig};
+use elmem_store::SizeClasses;
+use elmem_util::{ByteSize, DetRng, KeyId, SimTime};
+use elmem_workload::{GeneralizedPareto, Keyspace, WebRequest};
+
+fn tight_db_cluster() -> Cluster {
+    let mut cfg = ClusterConfig::small_test();
+    cfg.db_servers = 1;
+    cfg.db_service = SimTime::from_millis(10); // r_DB = 100/s
+    cfg.db_shed_delay = SimTime::from_millis(500);
+    cfg.slab_classes = SizeClasses::new(96, 4.0, ByteSize::PAGE.as_u64());
+    Cluster::new(
+        cfg,
+        Keyspace::with_distribution(100_000, 5, GeneralizedPareto::facebook_etc(), 4_000),
+        DetRng::seed(5),
+    )
+}
+
+#[test]
+fn miss_storm_latency_is_bounded_by_admission_control() {
+    let mut c = tight_db_cluster();
+    // 2,000 cold misses in one second against a 100/s database.
+    let mut worst_ms = 0.0f64;
+    for i in 0..2000u64 {
+        let req = WebRequest {
+            arrival: SimTime::from_micros(i * 500),
+            keys: vec![KeyId(i)],
+        };
+        let out = c.handle(&req);
+        worst_ms = worst_ms.max(out.rt_ms());
+    }
+    // Admission control caps the tail near the shed delay (+ overheads),
+    // instead of letting the queue diverge.
+    assert!(worst_ms >= 400.0, "storm should hit the shed bound: {worst_ms}");
+    assert!(worst_ms < 700.0, "latency must stay bounded: {worst_ms}");
+    assert!(c.db.shed() > 0, "the database must have shed load");
+}
+
+#[test]
+fn shed_fetches_do_not_fill_the_cache() {
+    let mut c = tight_db_cluster();
+    for i in 0..2000u64 {
+        let req = WebRequest {
+            arrival: SimTime::from_micros(i * 500),
+            keys: vec![KeyId(i)],
+        };
+        c.handle(&req);
+    }
+    // Only served fetches (≈ r_DB × 1 s plus the shed-free warmup) filled.
+    let cached = c.tier.total_items();
+    let served = c.db.fetches() - c.db.shed();
+    assert_eq!(cached, served, "every served fetch fills exactly one item");
+    assert!(cached < 600, "fills are throttled to the DB rate: {cached}");
+}
+
+#[test]
+fn recovery_after_storm_is_rate_limited() {
+    let mut c = tight_db_cluster();
+    // Same 200 keys requested over and over: the hot set re-fills at the
+    // database's pace, then everything hits.
+    let mut first_full_hit_second = None;
+    for s in 0..30u64 {
+        let mut hits = 0;
+        for i in 0..200u64 {
+            let req = WebRequest {
+                arrival: SimTime::from_secs(s) + SimTime::from_millis(i * 5),
+                keys: vec![KeyId(i)],
+            };
+            let out = c.handle(&req);
+            hits += out.hits;
+        }
+        if hits == 200 && first_full_hit_second.is_none() {
+            first_full_hit_second = Some(s);
+        }
+    }
+    let warm_at = first_full_hit_second.expect("should eventually warm");
+    // 200 fills at 100/s plus shedding during the first bursts: warm within
+    // a handful of seconds, but never instantly.
+    assert!((1..10).contains(&warm_at), "warmed at second {warm_at}");
+}
+
+#[test]
+fn request_outcome_accounts_every_lookup() {
+    let mut c = tight_db_cluster();
+    c.prefill((0..100).map(KeyId), SimTime::ZERO);
+    let req = WebRequest {
+        arrival: SimTime::from_millis(10),
+        keys: vec![KeyId(1), KeyId(2), KeyId(999_99), KeyId(3)],
+    };
+    let out = c.handle(&req);
+    assert_eq!(out.lookups, 4);
+    assert_eq!(out.hits, 3);
+    assert!(out.completion >= req.arrival + c.tier.config().web_overhead);
+    assert!(out.rt_ms() > 0.0);
+}

@@ -1,0 +1,452 @@
+//! End-to-end elastic experiments: the driver that ties the workload, the
+//! serving stack (`elmem-cluster`) and the scaling control plane together.
+//!
+//! This is the programmatic equivalent of the paper's testbed runs
+//! (Figs. 2, 6, 8): a request stream is served while the AutoScaler (or a
+//! scheduled script) triggers scaling actions executed under a chosen
+//! [`MigrationPolicy`]; the result is the per-second hit-rate / p95-RT
+//! timeline plus a log of scaling events with their migration reports.
+
+use elmem_cluster::{Cluster, ClusterConfig};
+use elmem_sim::EventQueue;
+use elmem_util::stats::{TimelinePoint, TimelineRecorder};
+use elmem_util::{DetRng, NodeId, SimTime};
+use elmem_workload::{RequestGenerator, WorkloadConfig};
+
+use crate::autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
+use crate::master::{DeferredKind, Master};
+use crate::predictive::{PredictiveAutoScaler, PredictiveConfig};
+use crate::migration::{MigrationCosts, MigrationReport};
+use crate::policies::MigrationPolicy;
+
+/// A scripted scaling action (used when experiments pin the scaling moment
+/// instead of running the AutoScaler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Remove `count` nodes.
+    In {
+        /// Number of nodes to retire.
+        count: u32,
+    },
+    /// Add `count` nodes.
+    Out {
+        /// Number of nodes to add.
+        count: u32,
+    },
+}
+
+/// One scaling event as executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingEvent {
+    /// When the decision was made (migration starts here).
+    pub decided_at: SimTime,
+    /// When the membership actually flipped.
+    pub committed_at: SimTime,
+    /// Member count before.
+    pub from_nodes: u32,
+    /// Member count after.
+    pub to_nodes: u32,
+    /// Nodes retired (scale-in) or added (scale-out).
+    pub nodes: Vec<NodeId>,
+    /// The migration report, when the policy migrates.
+    pub report: Option<MigrationReport>,
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Deployment parameters.
+    pub cluster: ClusterConfig,
+    /// Workload parameters.
+    pub workload: WorkloadConfig,
+    /// How scaling actions move data (Q3).
+    pub policy: MigrationPolicy,
+    /// Q1 automation; `None` runs only the scripted actions.
+    pub autoscaler: Option<ScalerConfig>,
+    /// Scripted actions (applied at the given times), in addition to or
+    /// instead of the AutoScaler.
+    pub scheduled: Vec<(SimTime, ScaleAction)>,
+    /// Pre-fill the caches with the top-`prefill_top_ranks` most popular
+    /// keys before the run (0 = start cold).
+    pub prefill_top_ranks: u64,
+    /// Migration cost model.
+    pub costs: MigrationCosts,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Experiment output.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Per-second hit rate and tail RT (the paper's Fig. 6 panels).
+    pub timeline: Vec<TimelinePoint>,
+    /// Scaling events in execution order.
+    pub events: Vec<ScalingEvent>,
+    /// Member count at the end.
+    pub final_members: u32,
+    /// Web requests served.
+    pub total_requests: u64,
+}
+
+impl ExperimentResult {
+    /// The second of the first membership flip, if any (the reference point
+    /// for post-scaling degradation summaries).
+    pub fn first_commit_second(&self) -> Option<u64> {
+        self.events.iter().map(|e| e.committed_at.as_secs()).min()
+    }
+}
+
+/// Which Q1 (when/how much) module drives the run — §III-B's "pluggable
+/// module".
+#[derive(Debug, Clone)]
+pub enum ScalerConfig {
+    /// The paper's reactive Eq. (1) + stack-distance sizing.
+    Reactive(AutoScalerConfig),
+    /// A Holt linear-trend forecaster wrapped around the reactive sizing.
+    Predictive(PredictiveConfig),
+}
+
+impl From<AutoScalerConfig> for ScalerConfig {
+    fn from(cfg: AutoScalerConfig) -> Self {
+        ScalerConfig::Reactive(cfg)
+    }
+}
+
+impl From<PredictiveConfig> for ScalerConfig {
+    fn from(cfg: PredictiveConfig) -> Self {
+        ScalerConfig::Predictive(cfg)
+    }
+}
+
+#[derive(Debug)]
+enum ScalerInstance {
+    Reactive(AutoScaler),
+    Predictive(PredictiveAutoScaler),
+}
+
+impl ScalerInstance {
+    fn new(config: &ScalerConfig) -> Self {
+        match config {
+            ScalerConfig::Reactive(c) => ScalerInstance::Reactive(AutoScaler::new(c.clone())),
+            ScalerConfig::Predictive(c) => {
+                ScalerInstance::Predictive(PredictiveAutoScaler::new(c.clone()))
+            }
+        }
+    }
+
+    fn observe(&mut self, key: elmem_util::KeyId, footprint: u64) {
+        match self {
+            ScalerInstance::Reactive(a) => a.observe(key, footprint),
+            ScalerInstance::Predictive(p) => p.observe(key, footprint),
+        }
+    }
+
+    fn epoch_elapsed(&self, now: SimTime) -> bool {
+        match self {
+            ScalerInstance::Reactive(a) => a.epoch_elapsed(now),
+            ScalerInstance::Predictive(p) => p.epoch_elapsed(now),
+        }
+    }
+
+    fn decide(&mut self, now: SimTime, rate: f64, current: u32) -> Option<ScalingHint> {
+        match self {
+            ScalerInstance::Reactive(a) => a.decide(now, rate, current),
+            ScalerInstance::Predictive(p) => p.decide(now, rate, current),
+        }
+    }
+}
+
+/// Runs one experiment to completion. Deterministic in `config.seed`.
+pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
+    let rng = DetRng::seed(config.seed);
+    let mut cluster = Cluster::new(
+        config.cluster.clone(),
+        config.workload.keyspace.clone(),
+        rng.split("cluster"),
+    );
+    let mut gen = RequestGenerator::new(config.workload.clone(), rng.split("workload"));
+    let mut master = Master::new(config.policy, config.costs, config.seed);
+
+    // Pre-fill hottest keys, coldest rank first so rank 1 ends up hottest.
+    if config.prefill_top_ranks > 0 {
+        let ranks = config.prefill_top_ranks.min(gen.config().keyspace.n_keys());
+        let zipf = gen.zipf().clone();
+        cluster.prefill(
+            (1..=ranks).rev().map(|r| zipf.key_for_rank(r)),
+            SimTime::ZERO,
+        );
+    }
+
+    let mut autoscaler = config.autoscaler.as_ref().map(ScalerInstance::new);
+    let mut control: EventQueue<DeferredKind> = EventQueue::new();
+    let mut scheduled = config.scheduled.clone();
+    scheduled.sort_by_key(|(t, _)| *t);
+    let mut scheduled_idx = 0usize;
+
+    let mut recorder = TimelineRecorder::new();
+    let mut events: Vec<ScalingEvent> = Vec::new();
+    let mut lookups_since = 0u64;
+    let mut rate_anchor = SimTime::ZERO;
+
+    while let Some(req) = gen.next_request() {
+        let now = req.arrival;
+
+        // 1. Apply control events that have come due.
+        while control.peek_time().is_some_and(|t| t <= now) {
+            let (_, ev) = control.pop().expect("peeked");
+            Master::apply(&mut cluster, &ev);
+        }
+
+        // 2. Scripted actions.
+        while scheduled_idx < scheduled.len() && scheduled[scheduled_idx].0 <= now {
+            let (at, action) = scheduled[scheduled_idx];
+            scheduled_idx += 1;
+            trigger(&mut cluster, &mut master, action, at.max(now), &mut control, &mut events);
+        }
+
+        // 3. AutoScaler decision (when idle and an epoch has elapsed).
+        if let Some(scaler) = autoscaler.as_mut() {
+            if scaler.epoch_elapsed(now) && master.is_idle(now) {
+                let elapsed = now.saturating_sub(rate_anchor).as_secs_f64();
+                let rate = if elapsed > 0.0 {
+                    lookups_since as f64 / elapsed
+                } else {
+                    0.0
+                };
+                let members = cluster.tier.membership().len() as u32;
+                if let Some(hint) = scaler.decide(now, rate, members) {
+                    let action = if hint.target_nodes < members {
+                        ScaleAction::In {
+                            count: hint.scale_in_count(),
+                        }
+                    } else {
+                        ScaleAction::Out {
+                            count: hint.scale_out_count(),
+                        }
+                    };
+                    trigger(&mut cluster, &mut master, action, now, &mut control, &mut events);
+                }
+                lookups_since = 0;
+                rate_anchor = now;
+            }
+        }
+
+        // 4. Serve the request.
+        let outcome = cluster.handle(&req);
+        if let Some(scaler) = autoscaler.as_mut() {
+            for &key in &req.keys {
+                let footprint = elmem_store::item::item_footprint(
+                    cluster.keyspace().value_size(key),
+                );
+                scaler.observe(key, footprint);
+            }
+        }
+        lookups_since += outcome.lookups;
+        recorder.record_request(outcome.completion, outcome.rt_ms(), outcome.hits, outcome.lookups);
+    }
+
+    // Drain remaining control events so membership reflects every decision.
+    while let Some((_, ev)) = control.pop() {
+        Master::apply(&mut cluster, &ev);
+    }
+
+    ExperimentResult {
+        timeline: recorder.finish(),
+        events,
+        final_members: cluster.tier.membership().len() as u32,
+        total_requests: gen.generated(),
+    }
+}
+
+fn trigger(
+    cluster: &mut Cluster,
+    master: &mut Master,
+    action: ScaleAction,
+    now: SimTime,
+    control: &mut EventQueue<DeferredKind>,
+    events: &mut Vec<ScalingEvent>,
+) {
+    let members = cluster.tier.membership().len() as u32;
+    let orch = match action {
+        ScaleAction::In { count } => {
+            let count = count.min(members.saturating_sub(1));
+            if count == 0 {
+                return;
+            }
+            match master.scale_in(cluster, count, now) {
+                Ok(orch) => orch,
+                Err(_) => return,
+            }
+        }
+        ScaleAction::Out { count } => {
+            if count == 0 {
+                return;
+            }
+            match master.scale_out(cluster, count, now) {
+                Ok(orch) => orch,
+                Err(_) => return,
+            }
+        }
+    };
+    for deferred in &orch.deferred {
+        control.schedule(deferred.at, deferred.kind.clone());
+    }
+    let to_nodes = match action {
+        ScaleAction::In { .. } => members - orch.nodes.len() as u32,
+        ScaleAction::Out { .. } => members + orch.nodes.len() as u32,
+    };
+    events.push(ScalingEvent {
+        decided_at: now,
+        committed_at: orch.committed_at,
+        from_nodes: members,
+        to_nodes,
+        nodes: orch.nodes,
+        report: orch.report,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmem_workload::{Keyspace, TraceKind};
+
+    fn base_config(policy: MigrationPolicy) -> ExperimentConfig {
+        ExperimentConfig {
+            cluster: ClusterConfig::small_test(),
+            workload: WorkloadConfig {
+                keyspace: Keyspace::new(20_000, 1),
+                zipf_exponent: 1.0,
+                items_per_request: 3,
+                peak_rate: 300.0,
+                trace: elmem_workload::DemandTrace::new(
+                    vec![1.0; 7],
+                    SimTime::from_secs(10),
+                ),
+            },
+            policy,
+            autoscaler: None,
+            scheduled: vec![(SimTime::from_secs(30), ScaleAction::In { count: 1 })],
+            prefill_top_ranks: 10_000,
+            costs: MigrationCosts::default(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn baseline_commits_immediately() {
+        let result = run_experiment(base_config(MigrationPolicy::Baseline));
+        assert_eq!(result.events.len(), 1);
+        let ev = &result.events[0];
+        assert_eq!(ev.decided_at, ev.committed_at);
+        assert!(ev.report.is_none());
+        assert_eq!(result.final_members, 3);
+        assert!(result.total_requests > 1000);
+    }
+
+    #[test]
+    fn elmem_commits_after_migration() {
+        let result = run_experiment(base_config(MigrationPolicy::elmem()));
+        assert_eq!(result.events.len(), 1);
+        let ev = &result.events[0];
+        assert!(ev.committed_at > ev.decided_at);
+        let report = ev.report.as_ref().expect("elmem migrates");
+        assert!(report.items_migrated > 0);
+        assert_eq!(result.final_members, 3);
+    }
+
+    #[test]
+    fn elmem_degrades_less_than_baseline() {
+        let base = run_experiment(base_config(MigrationPolicy::Baseline));
+        let elmem = run_experiment(base_config(MigrationPolicy::elmem()));
+        let commit_b = base.events[0].committed_at.as_secs();
+        let commit_e = elmem.events[0].committed_at.as_secs();
+        let post_miss = |tl: &[TimelinePoint], s: u64| -> f64 {
+            let pts: Vec<&TimelinePoint> =
+                tl.iter().filter(|p| p.second >= s && p.requests > 0).collect();
+            1.0 - pts.iter().map(|p| p.hit_rate).sum::<f64>() / pts.len().max(1) as f64
+        };
+        let miss_b = post_miss(&base.timeline, commit_b);
+        let miss_e = post_miss(&elmem.timeline, commit_e);
+        assert!(
+            miss_e < miss_b,
+            "elmem post-scaling miss {miss_e} should beat baseline {miss_b}"
+        );
+    }
+
+    #[test]
+    fn naive_runs_and_commits() {
+        let result = run_experiment(base_config(MigrationPolicy::Naive));
+        assert_eq!(result.events.len(), 1);
+        assert!(result.events[0].report.is_some());
+        assert_eq!(result.final_members, 3);
+    }
+
+    #[test]
+    fn cachescale_discards_secondary() {
+        let mut cfg = base_config(MigrationPolicy::CacheScale {
+            window: SimTime::from_secs(10),
+        });
+        cfg.scheduled = vec![(SimTime::from_secs(20), ScaleAction::In { count: 1 })];
+        let result = run_experiment(cfg);
+        assert_eq!(result.events.len(), 1);
+        assert_eq!(result.final_members, 3);
+    }
+
+    #[test]
+    fn scale_out_grows_membership() {
+        let mut cfg = base_config(MigrationPolicy::elmem());
+        cfg.scheduled = vec![(SimTime::from_secs(30), ScaleAction::Out { count: 2 })];
+        let result = run_experiment(cfg);
+        assert_eq!(result.final_members, 6);
+        assert!(result.events[0].report.is_some());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_experiment(base_config(MigrationPolicy::elmem()));
+        let b = run_experiment(base_config(MigrationPolicy::elmem()));
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.events.len(), b.events.len());
+    }
+
+    #[test]
+    fn autoscaler_scales_in_on_demand_drop() {
+        let mut cfg = base_config(MigrationPolicy::Baseline);
+        cfg.scheduled = vec![];
+        // Demand drops to near zero halfway.
+        cfg.workload.trace = elmem_workload::DemandTrace::new(
+            vec![1.0, 1.0, 1.0, 0.05, 0.05, 0.05, 0.05],
+            SimTime::from_secs(30),
+        );
+        cfg.workload.peak_rate = 400.0;
+        cfg.autoscaler = Some({
+            let mut a = AutoScalerConfig::new(
+                cfg.cluster.r_db(),
+                cfg.cluster.node_memory,
+            );
+            a.epoch = SimTime::from_secs(30);
+            a.max_nodes = 4;
+            a.min_observations = 5_000;
+            a.into()
+        });
+        let result = run_experiment(cfg);
+        assert!(
+            !result.events.is_empty(),
+            "autoscaler should have scaled in"
+        );
+        assert!(result.final_members < 4);
+    }
+
+    #[test]
+    fn trace_kinds_run_end_to_end() {
+        // Smoke: a short slice of a real trace shape with the autoscaler.
+        let mut cfg = base_config(MigrationPolicy::elmem());
+        cfg.scheduled = vec![];
+        cfg.workload.trace = TraceKind::FacebookSys.demand_trace();
+        cfg.workload.peak_rate = 120.0;
+        let result = run_experiment(cfg);
+        assert!(result.total_requests > 1000);
+        assert!(!result.timeline.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! ElMem: the elastic Memcached control plane (the paper's contribution).
+//!
+//! * [`mod@fusecache`] — the FuseCache algorithm (§IV): select the hottest `n`
+//!   items across `k` MRU-sorted lists in `O(k·log²n)` via recursive
+//!   median-of-medians, plus the k-way-merge and sort-merge baselines it is
+//!   compared against;
+//! * [`scoring`] — which node(s) to retire (§III-C): weighted median-hotness
+//!   scores;
+//! * [`autoscaler`] — when and how much to scale (§III-B): Eq. (1)
+//!   `p_min > 1 − r_DB/r` plus stack-distance memory sizing;
+//! * [`migration`] — the 3-phase migration (§III-D): metadata transfer,
+//!   hotness comparison (FuseCache), data migration, with modeled network
+//!   and CPU costs producing the paper's ~2-minute overhead breakdown;
+//! * [`policies`] — the comparators of §V: `baseline` (no migration),
+//!   `Naive`, and `CacheScale`;
+//! * [`elasticity`] — the end-to-end driver tying the control plane to the
+//!   serving stack in `elmem-cluster`.
+//!
+//! # Example
+//!
+//! ```
+//! use elmem_core::fusecache::{fusecache, sort_merge_top_n};
+//! use elmem_store::Hotness;
+//! use elmem_util::{KeyId, SimTime};
+//!
+//! let h = |s: u64, k: u64| Hotness::new(SimTime::from_secs(s), KeyId(k));
+//! let a = vec![h(9, 1), h(5, 2), h(1, 3)];
+//! let b = vec![h(8, 4), h(2, 5)];
+//! let picks = fusecache(&[&a, &b], 3);
+//! assert_eq!(picks, vec![2, 1]); // 9,5 from a; 8 from b
+//! assert_eq!(picks, sort_merge_top_n(&[&a, &b], 3));
+//! ```
+
+pub mod autoscaler;
+pub mod elasticity;
+pub mod master;
+pub mod predictive;
+pub mod fusecache;
+pub mod migration;
+pub mod policies;
+pub mod scoring;
+
+pub use autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
+pub use elasticity::{
+    run_experiment, ExperimentConfig, ExperimentResult, ScaleAction, ScalerConfig, ScalingEvent,
+};
+pub use master::{DeferredAction, DeferredKind, Master, Orchestration};
+pub use predictive::{PredictiveAutoScaler, PredictiveConfig};
+pub use fusecache::{fusecache, fusecache_instrumented, kway_top_n, sort_merge_top_n, SelectionStats};
+pub use migration::{migrate_scale_in, migrate_scale_out, MigrationCosts, MigrationReport, PhaseBreakdown};
+pub use policies::MigrationPolicy;
+pub use scoring::{choose_retiring, node_score};

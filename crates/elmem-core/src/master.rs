@@ -1,0 +1,388 @@
+//! The Master: ElMem's lightweight central controller (§III-A).
+//!
+//! The Master receives scaling hints from the AutoScaler, chooses which
+//! nodes to scale (Q2, via the §III-C scoring), orchestrates the 3-phase
+//! migration between Agents (Q3), and only after migration completes
+//! informs the web servers of the membership change and directs retiring
+//! nodes to power off. This module is the programmatic form of that
+//! orchestration: given a cluster and a policy, it mutates the data plane
+//! immediately (migration) and returns the *deferred actions* — membership
+//! flips and node shutdowns — with the simulated times at which they occur.
+
+use elmem_cluster::Cluster;
+use elmem_util::{DetRng, ElmemError, NodeId, SimTime};
+
+use crate::migration::{
+    migrate_naive_scale_in, migrate_scale_in, migrate_scale_out, MigrationCosts, MigrationReport,
+};
+use crate::policies::MigrationPolicy;
+use crate::scoring::choose_retiring;
+
+/// A deferred control action the caller must apply when simulated time
+/// reaches `at` (the driver schedules these on its event queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeferredAction {
+    /// When the action takes effect.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: DeferredKind,
+}
+
+/// The kinds of deferred control-plane actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeferredKind {
+    /// Flip membership to exclude these nodes and power them off.
+    CommitRemove(Vec<NodeId>),
+    /// Flip membership to include these (already filled) nodes.
+    CommitAdd(Vec<NodeId>),
+    /// CacheScale: disarm the secondary ring and power these nodes off.
+    DiscardSecondary(Vec<NodeId>),
+}
+
+/// What one orchestration call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Orchestration {
+    /// Nodes being retired or added.
+    pub nodes: Vec<NodeId>,
+    /// The migration report, when the policy migrates data.
+    pub report: Option<MigrationReport>,
+    /// Actions the driver must apply later (possibly empty for policies
+    /// that commit immediately).
+    pub deferred: Vec<DeferredAction>,
+    /// When the scaling is fully committed (now, for immediate policies).
+    pub committed_at: SimTime,
+}
+
+/// The Master controller.
+///
+/// # Example
+///
+/// ```
+/// use elmem_core::master::Master;
+/// use elmem_core::MigrationPolicy;
+/// use elmem_cluster::{Cluster, ClusterConfig};
+/// use elmem_util::{DetRng, KeyId, SimTime};
+/// use elmem_workload::{GeneralizedPareto, Keyspace};
+///
+/// let mut cluster = Cluster::new(
+///     ClusterConfig::small_test(),
+///     Keyspace::with_distribution(1_000, 0, GeneralizedPareto::facebook_etc(), 4_000),
+///     DetRng::seed(1),
+/// );
+/// for k in 0..500u64 {
+///     let owner = cluster.tier.node_for_key(KeyId(k)).unwrap();
+///     let size = cluster.keyspace().value_size(KeyId(k));
+///     cluster.tier.node_mut(owner).unwrap().store
+///         .set(KeyId(k), size, SimTime::from_secs(k)).unwrap();
+/// }
+/// let mut master = Master::new(MigrationPolicy::elmem(), Default::default(), 7);
+/// let orch = master
+///     .scale_in(&mut cluster, 1, SimTime::from_secs(1_000))
+///     .unwrap();
+/// assert_eq!(orch.nodes.len(), 1);
+/// assert!(orch.report.is_some());
+/// ```
+#[derive(Debug)]
+pub struct Master {
+    policy: MigrationPolicy,
+    costs: MigrationCosts,
+    /// Victim selection randomness for the Naive comparator.
+    rng: DetRng,
+    /// The Master is busy until this instant (one scaling at a time).
+    busy_until: SimTime,
+}
+
+impl Master {
+    /// Creates a Master executing scalings under `policy` with the given
+    /// migration cost model; `seed` feeds the Naive comparator's random
+    /// victim choice.
+    pub fn new(policy: MigrationPolicy, costs: MigrationCosts, seed: u64) -> Self {
+        Master {
+            policy,
+            costs,
+            rng: DetRng::seed(seed).split("naive-victims"),
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> MigrationPolicy {
+        self.policy
+    }
+
+    /// Until when the Master is occupied by an in-flight scaling.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Whether the Master can accept a new scaling decision at `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Orchestrates a scale-in of `count` nodes at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`ElmemError::InvalidScaling`] if `count` is zero or would empty the
+    /// tier; migration errors propagate.
+    pub fn scale_in(
+        &mut self,
+        cluster: &mut Cluster,
+        count: u32,
+        now: SimTime,
+    ) -> Result<Orchestration, ElmemError> {
+        let members = cluster.tier.membership().len() as u32;
+        if count == 0 || count >= members {
+            return Err(ElmemError::InvalidScaling(format!(
+                "cannot retire {count} of {members} nodes"
+            )));
+        }
+        let orch = match self.policy {
+            MigrationPolicy::Baseline => {
+                let (victims, _) = choose_retiring(&cluster.tier, count as usize);
+                cluster.tier.commit_remove(&victims)?;
+                Orchestration {
+                    nodes: victims,
+                    report: None,
+                    deferred: vec![],
+                    committed_at: now,
+                }
+            }
+            MigrationPolicy::ElMem { import } => {
+                let (victims, _) = choose_retiring(&cluster.tier, count as usize);
+                let report =
+                    migrate_scale_in(&mut cluster.tier, &victims, now, &self.costs, import)?;
+                let committed_at = report.completed;
+                Orchestration {
+                    deferred: vec![DeferredAction {
+                        at: committed_at,
+                        kind: DeferredKind::CommitRemove(victims.clone()),
+                    }],
+                    nodes: victims,
+                    report: Some(report),
+                    committed_at,
+                }
+            }
+            MigrationPolicy::Naive => {
+                let mut pool = cluster.tier.membership().members().to_vec();
+                let mut victims = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let i = self.rng.next_below(pool.len() as u64) as usize;
+                    victims.push(pool.swap_remove(i));
+                }
+                victims.sort_unstable();
+                let fraction = f64::from(members - count) / f64::from(members);
+                let report = migrate_naive_scale_in(
+                    &mut cluster.tier,
+                    &victims,
+                    fraction,
+                    now,
+                    &self.costs,
+                )?;
+                let committed_at = report.completed;
+                Orchestration {
+                    deferred: vec![DeferredAction {
+                        at: committed_at,
+                        kind: DeferredKind::CommitRemove(victims.clone()),
+                    }],
+                    nodes: victims,
+                    report: Some(report),
+                    committed_at,
+                }
+            }
+            MigrationPolicy::CacheScale { window } => {
+                let (victims, _) = choose_retiring(&cluster.tier, count as usize);
+                let old_ring = cluster.tier.membership().ring().clone();
+                cluster.tier.membership_remove_keep_online(&victims)?;
+                cluster.arm_secondary(old_ring);
+                Orchestration {
+                    deferred: vec![DeferredAction {
+                        at: now + window,
+                        kind: DeferredKind::DiscardSecondary(victims.clone()),
+                    }],
+                    nodes: victims,
+                    report: None,
+                    committed_at: now,
+                }
+            }
+        };
+        self.busy_until = orch
+            .deferred
+            .iter()
+            .map(|d| d.at)
+            .max()
+            .unwrap_or(now)
+            .max(self.busy_until);
+        Ok(orch)
+    }
+
+    /// Orchestrates a scale-out of `count` new nodes at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`ElmemError::InvalidScaling`] if `count` is zero; migration errors
+    /// propagate.
+    pub fn scale_out(
+        &mut self,
+        cluster: &mut Cluster,
+        count: u32,
+        now: SimTime,
+    ) -> Result<Orchestration, ElmemError> {
+        if count == 0 {
+            return Err(ElmemError::InvalidScaling("zero new nodes".to_string()));
+        }
+        let ids = cluster.tier.provision_nodes(count as usize);
+        let orch = match self.policy {
+            MigrationPolicy::ElMem { .. } => {
+                let report = migrate_scale_out(&mut cluster.tier, &ids, now, &self.costs)?;
+                let committed_at = report.completed;
+                Orchestration {
+                    deferred: vec![DeferredAction {
+                        at: committed_at,
+                        kind: DeferredKind::CommitAdd(ids.clone()),
+                    }],
+                    nodes: ids,
+                    report: Some(report),
+                    committed_at,
+                }
+            }
+            // The comparators add cold nodes immediately.
+            _ => {
+                cluster.tier.commit_add(&ids)?;
+                Orchestration {
+                    nodes: ids,
+                    report: None,
+                    deferred: vec![],
+                    committed_at: now,
+                }
+            }
+        };
+        self.busy_until = orch.committed_at.max(self.busy_until);
+        Ok(orch)
+    }
+
+    /// Applies a deferred action (the driver calls this when simulated time
+    /// reaches `action.at`).
+    pub fn apply(cluster: &mut Cluster, kind: &DeferredKind) {
+        match kind {
+            DeferredKind::CommitRemove(victims) => {
+                let _ = cluster.tier.commit_remove(victims);
+            }
+            DeferredKind::CommitAdd(ids) => {
+                let _ = cluster.tier.commit_add(ids);
+            }
+            DeferredKind::DiscardSecondary(victims) => {
+                cluster.disarm_secondary();
+                cluster.tier.power_off(victims);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmem_cluster::ClusterConfig;
+    use elmem_util::KeyId;
+    use elmem_workload::{GeneralizedPareto, Keyspace};
+
+    fn warmed_cluster() -> Cluster {
+        let mut cluster = Cluster::new(
+            ClusterConfig::small_test(),
+            Keyspace::with_distribution(10_000, 0, GeneralizedPareto::facebook_etc(), 4_000),
+            DetRng::seed(5),
+        );
+        for k in 0..2000u64 {
+            let key = KeyId(k);
+            let owner = cluster.tier.node_for_key(key).unwrap();
+            let size = cluster.keyspace().value_size(key);
+            cluster
+                .tier
+                .node_mut(owner)
+                .unwrap()
+                .store
+                .set(key, size, SimTime::from_secs(1 + k))
+                .unwrap();
+        }
+        cluster
+    }
+
+    #[test]
+    fn baseline_commits_inline() {
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::Baseline, MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        let orch = m.scale_in(&mut c, 1, now).unwrap();
+        assert!(orch.deferred.is_empty());
+        assert_eq!(orch.committed_at, now);
+        assert_eq!(c.tier.membership().len(), 3);
+        assert!(m.is_idle(now));
+    }
+
+    #[test]
+    fn elmem_defers_commit_until_migration_done() {
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        let orch = m.scale_in(&mut c, 1, now).unwrap();
+        assert_eq!(orch.deferred.len(), 1);
+        assert!(orch.committed_at > now);
+        // Membership unchanged until the deferred action is applied.
+        assert_eq!(c.tier.membership().len(), 4);
+        assert!(!m.is_idle(now));
+        assert!(m.is_idle(orch.committed_at));
+        Master::apply(&mut c, &orch.deferred[0].kind);
+        assert_eq!(c.tier.membership().len(), 3);
+    }
+
+    #[test]
+    fn cachescale_defers_discard() {
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::cachescale(), MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        let orch = m.scale_in(&mut c, 1, now).unwrap();
+        // Membership flipped immediately, secondary armed.
+        assert_eq!(c.tier.membership().len(), 3);
+        assert!(c.secondary_armed());
+        assert_eq!(orch.deferred.len(), 1);
+        assert_eq!(orch.deferred[0].at, now + SimTime::from_secs(120));
+        Master::apply(&mut c, &orch.deferred[0].kind);
+        assert!(!c.secondary_armed());
+        assert!(!c.tier.node(orch.nodes[0]).unwrap().is_online());
+    }
+
+    #[test]
+    fn scale_out_elmem_fills_before_commit() {
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        let orch = m.scale_out(&mut c, 1, now).unwrap();
+        assert_eq!(c.tier.membership().len(), 4, "not yet a member");
+        let new_store = &c.tier.node(orch.nodes[0]).unwrap().store;
+        assert!(!new_store.is_empty(), "filled before the flip");
+        Master::apply(&mut c, &orch.deferred[0].kind);
+        assert_eq!(c.tier.membership().len(), 5);
+    }
+
+    #[test]
+    fn invalid_counts_rejected() {
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), 1);
+        assert!(m.scale_in(&mut c, 0, SimTime::ZERO).is_err());
+        assert!(m.scale_in(&mut c, 4, SimTime::ZERO).is_err());
+        assert!(m.scale_out(&mut c, 0, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn naive_uses_random_victims_deterministically() {
+        let mut c1 = warmed_cluster();
+        let mut c2 = warmed_cluster();
+        let mut m1 = Master::new(MigrationPolicy::Naive, MigrationCosts::default(), 9);
+        let mut m2 = Master::new(MigrationPolicy::Naive, MigrationCosts::default(), 9);
+        let now = SimTime::from_secs(10_000);
+        let o1 = m1.scale_in(&mut c1, 1, now).unwrap();
+        let o2 = m2.scale_in(&mut c2, 1, now).unwrap();
+        assert_eq!(o1.nodes, o2.nodes, "same seed, same victims");
+    }
+}

@@ -1,0 +1,722 @@
+//! The 3-phase migration (§III-D): metadata transfer, hotness comparison
+//! (FuseCache), and data migration, with the per-phase cost model that
+//! reproduces the paper's ~2-minute overhead breakdown (§V-B2).
+//!
+//! Scale-in: every retiring Agent hashes its keys against the *retained*
+//! membership and ships `(key, timestamp)` metadata to the target nodes;
+//! each retained Agent runs FuseCache per slab class over its own MRU dump
+//! plus the incoming lists; the Master then directs the retiring nodes to
+//! ship exactly the chosen KV pairs, which the retained nodes batch-import
+//! (prepending/merging at the MRU head, evicting strictly colder items).
+//!
+//! Scale-out (§III-D4): each existing node ships the keys that hash to the
+//! new nodes (≈ `1/(k+1)` of its keys); FuseCache is only needed if the
+//! shipped set exceeds the new node's capacity.
+
+use std::collections::HashMap;
+
+use elmem_cluster::CacheTier;
+use elmem_store::{ClassId, Hotness, ImportMode, ItemMeta, KEY_BYTES, TIMESTAMP_BYTES};
+use elmem_util::{ByteSize, ElmemError, NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::fusecache::fusecache_instrumented;
+
+/// Per-(target, class) inbound metadata lists, keyed by source node.
+type InboundMap = HashMap<(NodeId, ClassId), Vec<(NodeId, Vec<ItemMeta>)>>;
+
+/// CPU-side cost constants of the migration pipeline, calibrated so the
+/// paper-scale deployment (≈4 M items migrated) lands on the §V-B2
+/// breakdown: score ≈20 s, hash+dump ≈50 s, metadata transfer ≈70 s,
+/// FuseCache <2 s, data transfer ≈45 s, import ≈80 s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationCosts {
+    /// Nanoseconds to score one slab (median probe + message), per node.
+    pub score_ns_per_slab: u64,
+    /// Nanoseconds to hash + dump one item's metadata on a retiring node.
+    pub dump_ns_per_item: u64,
+    /// Nanoseconds of serialization pipeline (tar + ssh) per item during
+    /// the metadata transfer, on top of the wire time.
+    pub metadata_ns_per_item: u64,
+    /// Nanoseconds per hotness comparison inside FuseCache.
+    pub fusecache_ns_per_comparison: u64,
+    /// Nanoseconds of serialization pipeline per item during the data
+    /// transfer, on top of the wire time.
+    pub data_ns_per_item: u64,
+    /// Nanoseconds to set one migrated item into Memcached on the target.
+    pub import_ns_per_item: u64,
+}
+
+impl Default for MigrationCosts {
+    fn default() -> Self {
+        // Calibrated against the §V-B2 breakdown at ≈4 M items migrated:
+        // dump 50 s → 12.5 µs/item; metadata transfer 70 s → ~17 µs/item
+        // (tar/ssh pipeline dominates the 21 B/item wire cost); data
+        // migration 45 s → ~8 µs/item + wire; import 80 s → 20 µs/item;
+        // scoring 20 s across ~40 slabs.
+        MigrationCosts {
+            score_ns_per_slab: 50_000_000, // 50 ms per slab (crawler pass)
+            dump_ns_per_item: 12_500,
+            metadata_ns_per_item: 17_000,
+            fusecache_ns_per_comparison: 100,
+            data_ns_per_item: 8_000,
+            import_ns_per_item: 20_000,
+        }
+    }
+}
+
+/// Wall-clock breakdown of one migration, mirroring §V-B2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Scoring the nodes from their slab medians (§III-C).
+    pub scoring: SimTime,
+    /// Hashing keys + dumping timestamps on the sources (§III-D1).
+    pub dump: SimTime,
+    /// Shipping `(key, timestamp)` metadata over the network (§III-D1).
+    pub metadata_transfer: SimTime,
+    /// Running FuseCache on the destinations (§III-D2).
+    pub fusecache: SimTime,
+    /// Shipping the chosen KV pairs (§III-D3).
+    pub data_transfer: SimTime,
+    /// Batch-importing them into Memcached (§III-D3).
+    pub import: SimTime,
+}
+
+impl PhaseBreakdown {
+    /// Total migration wall-clock (phases are sequential, per §III-D).
+    pub fn total(&self) -> SimTime {
+        self.scoring
+            + self.dump
+            + self.metadata_transfer
+            + self.fusecache
+            + self.data_transfer
+            + self.import
+    }
+}
+
+/// Outcome of a migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// When the migration started.
+    pub started: SimTime,
+    /// When the last phase finished (= when the Master may flip membership).
+    pub completed: SimTime,
+    /// Per-phase wall-clock.
+    pub phases: PhaseBreakdown,
+    /// Items moved to retained/new nodes.
+    pub items_migrated: u64,
+    /// Bytes of KV data moved in phase 3.
+    pub bytes_migrated: ByteSize,
+    /// Bytes of metadata moved in phase 1.
+    pub metadata_bytes: ByteSize,
+    /// Items considered (dumped) on the sources.
+    pub items_considered: u64,
+}
+
+/// How the destination merges migrated items (ElMem uses `Merge`; the
+/// Naive comparator uses `Prepend` — see `policies`).
+pub use elmem_store::ImportMode as MigrationImportMode;
+
+/// Executes the 3-phase scale-in migration: moves the globally hottest
+/// subset of each retiring node's data to the retained nodes.
+///
+/// Does **not** flip the membership — the caller commits the scaling at
+/// `report.completed` (requests keep being served by the old membership
+/// during the migration, exactly as in the paper).
+///
+/// # Errors
+///
+/// * [`ElmemError::InvalidScaling`] if `retiring` is empty or would empty
+///   the membership;
+/// * [`ElmemError::UnknownNode`] if a retiring id is not a member.
+pub fn migrate_scale_in(
+    tier: &mut CacheTier,
+    retiring: &[NodeId],
+    now: SimTime,
+    costs: &MigrationCosts,
+    import_mode: ImportMode,
+) -> Result<MigrationReport, ElmemError> {
+    let members = tier.membership().members().to_vec();
+    validate_retiring(&members, retiring)?;
+    let retained_ring = tier.membership().ring().without(retiring);
+
+    let mut phases = PhaseBreakdown::default();
+
+    // §III-C scoring cost: every member node crawls its slabs for medians
+    // (done in parallel across nodes; take the max = any node's cost).
+    let max_slabs = members
+        .iter()
+        .map(|&id| {
+            let store = &tier.node(id).expect("member exists").store;
+            store.classes().ids().filter(|&c| store.len_of_class(c) > 0).count() as u64
+        })
+        .max()
+        .unwrap_or(0);
+    phases.scoring = SimTime::from_nanos(max_slabs * costs.score_ns_per_slab);
+
+    // Phase 1 — dump + hash on each retiring node (parallel: take max),
+    // then ship metadata to targets (per-source link, serialized).
+    let mut items_considered = 0u64;
+    let mut metadata_bytes = ByteSize::ZERO;
+    let mut dump_max = SimTime::ZERO;
+    // (target, class) → (source, items) lists.
+    let mut inbound: InboundMap = HashMap::new();
+    let mut transfer_done = now;
+    for &src in retiring {
+        let dump = tier.node(src).expect("validated above").store.dump_metadata();
+        let n_items: u64 = dump.total_items();
+        items_considered += n_items;
+        dump_max = dump_max.max(SimTime::from_nanos(n_items * costs.dump_ns_per_item));
+        // Hash each item against the retained membership.
+        let mut per_target: HashMap<(NodeId, ClassId), Vec<ItemMeta>> = HashMap::new();
+        for class_dump in &dump.classes {
+            for item in &class_dump.items {
+                let target = retained_ring
+                    .node_for(item.key)
+                    .expect("retained ring nonempty");
+                per_target
+                    .entry((target, class_dump.class))
+                    .or_default()
+                    .push(*item);
+            }
+        }
+        // Ship metadata over the source's NIC (tarball over ssh: one
+        // serialized stream per source; the pipeline's per-item CPU cost
+        // dominates the 21 B/item wire cost).
+        let bytes = ByteSize((KEY_BYTES + TIMESTAMP_BYTES) * n_items);
+        metadata_bytes += bytes;
+        let pipeline = SimTime::from_nanos(n_items * costs.metadata_ns_per_item);
+        let done = tier
+            .node_mut(src)
+            .expect("validated above")
+            .link
+            .schedule_transfer(now, bytes)
+            + pipeline;
+        transfer_done = transfer_done.max(done);
+        for ((target, class), items) in per_target {
+            inbound.entry((target, class)).or_default().push((src, items));
+        }
+    }
+    phases.dump = dump_max;
+    phases.metadata_transfer = transfer_done.saturating_sub(now);
+
+    // Phase 2 — FuseCache on each retained node, per class: how many items
+    // to accept from each source. Runs in parallel across destinations;
+    // cost = max per destination.
+    let mut fusecache_ns_max = 0u64;
+    // (source, target, class) → items to actually migrate.
+    let mut plan: Vec<(NodeId, NodeId, ClassId, Vec<ItemMeta>)> = Vec::new();
+    let mut dest_keys: Vec<(NodeId, ClassId)> = inbound.keys().copied().collect();
+    dest_keys.sort_unstable(); // deterministic order
+    let mut per_dest_ns: HashMap<NodeId, u64> = HashMap::new();
+    for (target, class) in dest_keys {
+        let sources = inbound.remove(&(target, class)).expect("key exists");
+        let dest_store = &tier.node(target).expect("retained member").store;
+        // Capacity for this class on the destination, in items:
+        // the retained node's own list length n (FuseCache picks the top
+        // n across its own list + incoming, per §IV-A).
+        let own: Vec<Hotness> = dest_store
+            .dump_class(class)
+            .items
+            .iter()
+            .map(|i| i.hotness())
+            .collect();
+        let n = own.len().max(
+            // An empty class on the destination can still grow: allow as
+            // many items as one page of chunks as a floor.
+            dest_store.classes().chunks_per_page(class) as usize,
+        );
+        let mut lists: Vec<Vec<Hotness>> = Vec::with_capacity(sources.len() + 1);
+        lists.push(own);
+        for (_, items) in &sources {
+            lists.push(items.iter().map(|i| i.hotness()).collect());
+        }
+        let refs: Vec<&[Hotness]> = lists.iter().map(|l| l.as_slice()).collect();
+        let (picks, stats) = fusecache_instrumented(&refs, n);
+        *per_dest_ns.entry(target).or_default() +=
+            stats.comparisons * costs.fusecache_ns_per_comparison;
+        // picks[0] is the destination's own list; picks[1..] map to sources.
+        for (si, (src, items)) in sources.into_iter().enumerate() {
+            let take = picks[si + 1].min(items.len());
+            if take > 0 {
+                plan.push((src, target, class, items[..take].to_vec()));
+            }
+        }
+    }
+    fusecache_ns_max = fusecache_ns_max.max(per_dest_ns.values().copied().max().unwrap_or(0));
+    phases.fusecache = SimTime::from_nanos(fusecache_ns_max);
+
+    // Phase 3 — ship the chosen KV pairs (source links, serialized) and
+    // batch-import on the destinations.
+    let data_start = now + phases.scoring + phases.dump + phases.metadata_transfer + phases.fusecache;
+    let mut items_migrated = 0u64;
+    let mut bytes_migrated = ByteSize::ZERO;
+    let mut data_done = data_start;
+    let mut import_ns: HashMap<NodeId, u64> = HashMap::new();
+    for (src, target, class, items) in plan {
+        let bytes = ByteSize(items.iter().map(|i| i.footprint()).sum());
+        bytes_migrated += bytes;
+        items_migrated += items.len() as u64;
+        let pipeline = SimTime::from_nanos(items.len() as u64 * costs.data_ns_per_item);
+        let done = tier
+            .node_mut(src)
+            .expect("validated above")
+            .link
+            .schedule_transfer(data_start, bytes)
+            + pipeline;
+        data_done = data_done.max(done);
+        *import_ns.entry(target).or_default() +=
+            items.len() as u64 * costs.import_ns_per_item;
+        // Apply the import (items are hottest-first within each source's
+        // class list; the store re-sorts/merges as configured).
+        let node = tier.node_mut(target).expect("retained member");
+        node.store.batch_import(class, &items, import_mode)?;
+    }
+    phases.data_transfer = data_done.saturating_sub(data_start);
+    phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
+
+    Ok(MigrationReport {
+        started: now,
+        completed: now + phases.total(),
+        phases,
+        items_migrated,
+        bytes_migrated,
+        metadata_bytes,
+        items_considered,
+    })
+}
+
+/// Executes the scale-out migration (§III-D4): each existing member ships
+/// the keys that hash to the `new_nodes` under the expanded membership.
+///
+/// Does **not** flip the membership; the caller commits at
+/// `report.completed`. The new nodes must already be provisioned (online,
+/// outside the membership).
+///
+/// # Errors
+///
+/// [`ElmemError::InvalidScaling`] if `new_nodes` is empty or contains a
+/// current member.
+pub fn migrate_scale_out(
+    tier: &mut CacheTier,
+    new_nodes: &[NodeId],
+    now: SimTime,
+    costs: &MigrationCosts,
+) -> Result<MigrationReport, ElmemError> {
+    if new_nodes.is_empty() {
+        return Err(ElmemError::InvalidScaling("no new nodes".to_string()));
+    }
+    let members = tier.membership().members().to_vec();
+    for id in new_nodes {
+        if members.contains(id) {
+            return Err(ElmemError::InvalidScaling(format!(
+                "{id} is already a member"
+            )));
+        }
+        tier.node(*id)?; // must be provisioned
+    }
+    let expanded_ring = tier.membership().ring().with(new_nodes);
+
+    let mut phases = PhaseBreakdown::default();
+    let mut items_considered = 0u64;
+    let mut items_migrated = 0u64;
+    let mut bytes_migrated = ByteSize::ZERO;
+    let mut dump_max = SimTime::ZERO;
+    let mut transfer_done = now;
+    let mut import_ns: HashMap<NodeId, u64> = HashMap::new();
+
+    // Each existing member hashes its keys against the expanded membership
+    // and ships whatever lands on a new node. Under consistent hashing this
+    // is ~1/(k+1) of its keys, which typically fits the new node outright.
+    let mut moves: Vec<(NodeId, NodeId, ClassId, Vec<ItemMeta>)> = Vec::new();
+    for &src in &members {
+        let dump = tier.node(src).expect("member exists").store.dump_metadata();
+        items_considered += dump.total_items();
+        dump_max = dump_max.max(SimTime::from_nanos(
+            dump.total_items() * costs.dump_ns_per_item,
+        ));
+        for class_dump in &dump.classes {
+            let mut per_new: HashMap<NodeId, Vec<ItemMeta>> = HashMap::new();
+            for item in &class_dump.items {
+                let owner = expanded_ring.node_for(item.key).expect("ring nonempty");
+                if new_nodes.contains(&owner) {
+                    per_new.entry(owner).or_default().push(*item);
+                }
+            }
+            for (target, items) in per_new {
+                moves.push((src, target, class_dump.class, items));
+            }
+        }
+    }
+    phases.dump = dump_max;
+
+    // Ship + import. (In the rare case the shipped set exceeds the new
+    // node's capacity, the store's import evicts the coldest overflow —
+    // equivalent to the paper's "run FuseCache to determine the top pairs".)
+    moves.sort_by_key(|(s, t, c, _)| (*s, *t, *c)); // deterministic
+    for (src, target, class, items) in moves {
+        let bytes = ByteSize(items.iter().map(|i| i.footprint()).sum());
+        bytes_migrated += bytes;
+        items_migrated += items.len() as u64;
+        let done = tier
+            .node_mut(src)
+            .expect("member exists")
+            .link
+            .schedule_transfer(now + phases.dump, bytes);
+        transfer_done = transfer_done.max(done);
+        *import_ns.entry(target).or_default() +=
+            items.len() as u64 * costs.import_ns_per_item;
+        let node = tier.node_mut(target).expect("provisioned node");
+        node.store.batch_import(class, &items, ImportMode::Merge)?;
+        // The source keeps its copy until the membership flips; after the
+        // flip those keys hash to the new node and the stale copies age out
+        // of the source's LRU naturally (as in the real system).
+    }
+    phases.data_transfer = transfer_done.saturating_sub(now + phases.dump);
+    phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
+
+    Ok(MigrationReport {
+        started: now,
+        completed: now + phases.total(),
+        phases,
+        items_migrated,
+        bytes_migrated,
+        metadata_bytes: ByteSize::ZERO,
+        items_considered,
+    })
+}
+
+/// The *Naive* comparator's migration (§V-B4): ships the hottest
+/// `fraction` of each retiring node's items (assuming hotness distributions
+/// are similar across nodes — no cross-node comparison), and the targets
+/// import them through the ordinary `set` path.
+///
+/// Two deliberate differences from ElMem's migration, mirroring the paper:
+///
+/// * no FuseCache: the shipped amount ignores what actually fits hotter
+///   than the residents;
+/// * **recency corruption**: plain `set`s stamp every migrated item with a
+///   fresh access time, so cold imports land *above* genuinely warm
+///   residents in the MRU order. Until the LRU dynamics wash that out,
+///   evictions keep hitting warm residents — which is why the paper's
+///   Naive "continues to degrade well after the scaling event". (ElMem's
+///   custom batch import preserves original timestamps, §III-D3.)
+///
+/// # Errors
+///
+/// Same validation as [`migrate_scale_in`]; also rejects `fraction`
+/// outside `[0, 1]`.
+pub fn migrate_naive_scale_in(
+    tier: &mut CacheTier,
+    retiring: &[NodeId],
+    fraction: f64,
+    now: SimTime,
+    costs: &MigrationCosts,
+) -> Result<MigrationReport, ElmemError> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(ElmemError::InvalidConfig(format!(
+            "naive fraction {fraction} outside [0, 1]"
+        )));
+    }
+    let members = tier.membership().members().to_vec();
+    validate_retiring(&members, retiring)?;
+    let retained_ring = tier.membership().ring().without(retiring);
+
+    let mut phases = PhaseBreakdown::default();
+    let mut items_considered = 0u64;
+    let mut items_migrated = 0u64;
+    let mut bytes_migrated = ByteSize::ZERO;
+    let mut dump_max = SimTime::ZERO;
+    let mut transfer_done = now;
+    let mut import_ns: HashMap<NodeId, u64> = HashMap::new();
+
+    let mut moves: Vec<(NodeId, NodeId, ClassId, Vec<ItemMeta>)> = Vec::new();
+    for &src in retiring {
+        let dump = tier.node(src).expect("validated above").store.dump_metadata();
+        items_considered += dump.total_items();
+        dump_max = dump_max.max(SimTime::from_nanos(
+            dump.total_items() * costs.dump_ns_per_item,
+        ));
+        for class_dump in &dump.classes {
+            let take = (class_dump.items.len() as f64 * fraction).ceil() as usize;
+            let mut per_target: HashMap<NodeId, Vec<ItemMeta>> = HashMap::new();
+            for (i, item) in class_dump.items.iter().take(take).enumerate() {
+                let target = retained_ring.node_for(item.key).expect("ring nonempty");
+                // Plain-`set` semantics: the import gets a fresh access
+                // time (preserving only the shipment's internal order).
+                let corrupted = ItemMeta {
+                    last_access: now + SimTime::from_nanos((take - i) as u64),
+                    ..*item
+                };
+                per_target.entry(target).or_default().push(corrupted);
+            }
+            for (target, items) in per_target {
+                moves.push((src, target, class_dump.class, items));
+            }
+        }
+    }
+    phases.dump = dump_max;
+
+    moves.sort_by_key(|(s, t, c, _)| (*s, *t, *c));
+    for (src, target, class, items) in moves {
+        let bytes = ByteSize(items.iter().map(|i| i.footprint()).sum());
+        bytes_migrated += bytes;
+        items_migrated += items.len() as u64;
+        let done = tier
+            .node_mut(src)
+            .expect("validated above")
+            .link
+            .schedule_transfer(now + phases.dump, bytes);
+        transfer_done = transfer_done.max(done);
+        *import_ns.entry(target).or_default() +=
+            items.len() as u64 * costs.import_ns_per_item;
+        let node = tier.node_mut(target).expect("retained member");
+        node.store.batch_import(class, &items, ImportMode::Prepend)?;
+    }
+    phases.data_transfer = transfer_done.saturating_sub(now + phases.dump);
+    phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
+
+    Ok(MigrationReport {
+        started: now,
+        completed: now + phases.total(),
+        phases,
+        items_migrated,
+        bytes_migrated,
+        metadata_bytes: ByteSize::ZERO,
+        items_considered,
+    })
+}
+
+fn validate_retiring(members: &[NodeId], retiring: &[NodeId]) -> Result<(), ElmemError> {
+    if retiring.is_empty() {
+        return Err(ElmemError::InvalidScaling("no retiring nodes".to_string()));
+    }
+    for id in retiring {
+        if !members.contains(id) {
+            return Err(ElmemError::UnknownNode(id.0));
+        }
+    }
+    if retiring.len() >= members.len() {
+        return Err(ElmemError::InvalidScaling(
+            "cannot retire the whole tier".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmem_cluster::ClusterConfig;
+    use elmem_util::KeyId;
+
+    /// Tier with node 0 coldest: keys 0..400 spread by ring, all touched;
+    /// node 0's items get old timestamps.
+    fn warmed_tier() -> (CacheTier, Vec<u64>) {
+        let mut tier = CacheTier::new(ClusterConfig::small_test());
+        let mut keys_on_0 = Vec::new();
+        for k in 0..2000u64 {
+            let owner = tier.node_for_key(KeyId(k)).unwrap();
+            let t = if owner == NodeId(0) {
+                keys_on_0.push(k);
+                SimTime::from_secs(100 + k)
+            } else {
+                SimTime::from_secs(100_000 + k)
+            };
+            tier.node_mut(owner)
+                .unwrap()
+                .store
+                .set(KeyId(k), 64, t)
+                .unwrap();
+        }
+        (tier, keys_on_0)
+    }
+
+    #[test]
+    fn scale_in_moves_items_to_correct_targets() {
+        let (mut tier, keys_on_0) = warmed_tier();
+        let report = migrate_scale_in(
+            &mut tier,
+            &[NodeId(0)],
+            SimTime::from_secs(200_000),
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+        )
+        .unwrap();
+        assert!(report.items_migrated > 0);
+        assert!(report.completed > report.started);
+        // Migrated keys must sit on their retained-ring owner.
+        let retained = tier.membership().ring().without(&[NodeId(0)]);
+        let mut found = 0;
+        for &k in &keys_on_0 {
+            let target = retained.node_for(KeyId(k)).unwrap();
+            if tier.node(target).unwrap().store.contains(KeyId(k)) {
+                found += 1;
+            }
+        }
+        assert!(found > 0, "no migrated key reached its target");
+        assert_eq!(found, report.items_migrated);
+    }
+
+    #[test]
+    fn migration_does_not_flip_membership() {
+        let (mut tier, _) = warmed_tier();
+        migrate_scale_in(
+            &mut tier,
+            &[NodeId(0)],
+            SimTime::from_secs(200_000),
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+        )
+        .unwrap();
+        assert_eq!(tier.membership().len(), 4);
+        assert!(tier.node(NodeId(0)).unwrap().is_online());
+    }
+
+    #[test]
+    fn migrated_items_are_hotter_than_evicted() {
+        let (mut tier, _) = warmed_tier();
+        // Record pre-migration tail hotness on a retained node.
+        let report = migrate_scale_in(
+            &mut tier,
+            &[NodeId(0)],
+            SimTime::from_secs(200_000),
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+        )
+        .unwrap();
+        // Every class list on every retained node must still be sorted.
+        for &id in tier.membership().members() {
+            let store = &tier.node(id).unwrap().store;
+            for class in store.classes().ids() {
+                let dump = store.dump_class(class);
+                for w in dump.items.windows(2) {
+                    assert!(w[0].hotness() >= w[1].hotness());
+                }
+            }
+        }
+        assert!(report.phases.total() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_completion() {
+        let (mut tier, _) = warmed_tier();
+        let start = SimTime::from_secs(200_000);
+        let report = migrate_scale_in(
+            &mut tier,
+            &[NodeId(0)],
+            start,
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+        )
+        .unwrap();
+        assert_eq!(report.completed, start + report.phases.total());
+        assert!(report.metadata_bytes > ByteSize::ZERO);
+        assert!(report.bytes_migrated > ByteSize::ZERO);
+        assert!(report.items_considered >= report.items_migrated);
+    }
+
+    #[test]
+    fn retiring_unknown_node_fails() {
+        let (mut tier, _) = warmed_tier();
+        assert!(migrate_scale_in(
+            &mut tier,
+            &[NodeId(77)],
+            SimTime::ZERO,
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn retiring_everything_fails() {
+        let (mut tier, _) = warmed_tier();
+        let all: Vec<NodeId> = tier.membership().members().to_vec();
+        assert!(migrate_scale_in(
+            &mut tier,
+            &all,
+            SimTime::ZERO,
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scale_out_ships_remapped_keys() {
+        let (mut tier, _) = warmed_tier();
+        let new = tier.provision_nodes(1);
+        let expanded = tier.membership().ring().with(&new);
+        let report = migrate_scale_out(
+            &mut tier,
+            &new,
+            SimTime::from_secs(200_000),
+            &MigrationCosts::default(),
+        )
+        .unwrap();
+        assert!(report.items_migrated > 0);
+        // Every key that remaps to the new node and was cached must now be
+        // on the new node.
+        let new_store = &tier.node(new[0]).unwrap().store;
+        assert_eq!(new_store.len(), report.items_migrated);
+        for item in new_store.iter() {
+            assert_eq!(expanded.node_for(item.key), Some(new[0]));
+        }
+        // Roughly 1/(k+1) = 1/5 of the 2000 cached keys.
+        let frac = report.items_migrated as f64 / 2000.0;
+        assert!((0.1..0.35).contains(&frac), "moved fraction {frac}");
+    }
+
+    #[test]
+    fn scale_out_rejects_existing_member() {
+        let (mut tier, _) = warmed_tier();
+        assert!(migrate_scale_out(
+            &mut tier,
+            &[NodeId(0)],
+            SimTime::ZERO,
+            &MigrationCosts::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scale_out_rejects_unprovisioned() {
+        let (mut tier, _) = warmed_tier();
+        assert!(migrate_scale_out(
+            &mut tier,
+            &[NodeId(50)],
+            SimTime::ZERO,
+            &MigrationCosts::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn costs_scale_phase_times() {
+        let (mut t1, _) = warmed_tier();
+        let (mut t2, _) = warmed_tier();
+        let cheap = MigrationCosts::default();
+        let costly = MigrationCosts {
+            dump_ns_per_item: cheap.dump_ns_per_item * 10,
+            ..cheap
+        };
+        let r1 = migrate_scale_in(
+            &mut t1,
+            &[NodeId(0)],
+            SimTime::from_secs(200_000),
+            &cheap,
+            ImportMode::Merge,
+        )
+        .unwrap();
+        let r2 = migrate_scale_in(
+            &mut t2,
+            &[NodeId(0)],
+            SimTime::from_secs(200_000),
+            &costly,
+            ImportMode::Merge,
+        )
+        .unwrap();
+        assert!(r2.phases.dump > r1.phases.dump);
+    }
+}

@@ -1,0 +1,149 @@
+//! Which node(s) to scale in (§III-C).
+//!
+//! ElMem retires the node whose hot-data migration will move the fewest
+//! bytes. Exactly determining that would require comparing every item
+//! across nodes; instead the Master compares only the **median** MRU
+//! timestamp of each slab, weighted by the fraction of memory pages the
+//! slab holds: `score_i = Σ_b s_{b,i} · w_b`, retiring the `argmin` — the
+//! node whose data is coldest at the middle of its MRU lists.
+
+use elmem_cluster::CacheTier;
+use elmem_store::SlabStore;
+use elmem_util::NodeId;
+
+/// The §III-C node score: page-weighted sum of per-slab median hotness
+/// timestamps (seconds). Lower = colder = better to retire.
+///
+/// Empty classes hold no pages and contribute nothing.
+///
+/// # Example
+///
+/// ```
+/// use elmem_core::scoring::node_score;
+/// use elmem_store::{SlabStore, StoreConfig};
+/// use elmem_util::{ByteSize, KeyId, SimTime};
+///
+/// let mut cold = SlabStore::new(StoreConfig::with_memory(ByteSize::from_mib(2)));
+/// let mut hot = SlabStore::new(StoreConfig::with_memory(ByteSize::from_mib(2)));
+/// for k in 0..100u64 {
+///     cold.set(KeyId(k), 10, SimTime::from_secs(k)).unwrap();
+///     hot.set(KeyId(k), 10, SimTime::from_secs(1000 + k)).unwrap();
+/// }
+/// assert!(node_score(&cold) < node_score(&hot));
+/// ```
+pub fn node_score(store: &SlabStore) -> f64 {
+    store
+        .page_weights()
+        .into_iter()
+        .map(|(class, w)| {
+            if w == 0.0 {
+                return 0.0;
+            }
+            match store.median_hotness(class) {
+                Some(h) => w * h.time().as_secs_f64(),
+                None => 0.0,
+            }
+        })
+        .sum()
+}
+
+/// Chooses the `x` member nodes with the smallest (coldest) scores to
+/// retire. Returns the chosen ids together with the full sorted scoring,
+/// coldest first (useful for the Fig. 7 analysis).
+///
+/// # Panics
+///
+/// Panics if `x` is not smaller than the membership size (the tier cannot
+/// scale to zero nodes).
+pub fn choose_retiring(tier: &CacheTier, x: usize) -> (Vec<NodeId>, Vec<(NodeId, f64)>) {
+    let members = tier.membership().members();
+    assert!(
+        x < members.len(),
+        "cannot retire {x} of {} nodes",
+        members.len()
+    );
+    let mut scored: Vec<(NodeId, f64)> = members
+        .iter()
+        .map(|&id| {
+            let node = tier.node(id).expect("member node exists");
+            (id, node_score(&node.store))
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
+    let chosen = scored.iter().take(x).map(|(id, _)| *id).collect();
+    (chosen, scored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmem_cluster::ClusterConfig;
+    use elmem_util::{KeyId, SimTime};
+
+    fn warmed_tier() -> CacheTier {
+        let mut tier = CacheTier::new(ClusterConfig::small_test());
+        // Node i's items are touched at time base = (i+1)*1000s, so node 0
+        // is coldest, node 3 hottest.
+        for i in 0..4u32 {
+            let id = NodeId(i);
+            for k in 0..200u64 {
+                let t = SimTime::from_secs(u64::from(i + 1) * 1000 + k);
+                tier.node_mut(id).unwrap().store.set(KeyId(k), 50, t).unwrap();
+            }
+        }
+        tier
+    }
+
+    #[test]
+    fn coldest_node_chosen() {
+        let tier = warmed_tier();
+        let (chosen, scored) = choose_retiring(&tier, 1);
+        assert_eq!(chosen, vec![NodeId(0)]);
+        assert_eq!(scored.len(), 4);
+        // Scores strictly increase with node id in this construction.
+        for w in scored.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn multiple_victims_are_the_coldest_set() {
+        let tier = warmed_tier();
+        let (chosen, _) = choose_retiring(&tier, 2);
+        assert_eq!(chosen, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn empty_store_scores_zero() {
+        let tier = CacheTier::new(ClusterConfig::small_test());
+        let s = node_score(&tier.node(NodeId(0)).unwrap().store);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn score_weights_by_pages() {
+        use elmem_store::{SlabStore, StoreConfig};
+        use elmem_util::ByteSize;
+        // Two stores, same small-class data; one also has a large, *hot*
+        // class holding most pages — its weighted score must be higher.
+        let mut plain = SlabStore::new(StoreConfig::with_memory(ByteSize::from_mib(8)));
+        let mut skewed = SlabStore::new(StoreConfig::with_memory(ByteSize::from_mib(8)));
+        for k in 0..100u64 {
+            plain.set(KeyId(k), 10, SimTime::from_secs(k)).unwrap();
+            skewed.set(KeyId(k), 10, SimTime::from_secs(k)).unwrap();
+        }
+        for k in 1000..1200u64 {
+            skewed
+                .set(KeyId(k), 50_000, SimTime::from_secs(100_000 + k))
+                .unwrap();
+        }
+        assert!(node_score(&skewed) > node_score(&plain));
+    }
+
+    #[test]
+    #[should_panic]
+    fn retiring_all_nodes_panics() {
+        let tier = warmed_tier();
+        let _ = choose_retiring(&tier, 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based verification of FuseCache (§IV): on *every* input, the
+//! algorithm must return exactly the optimal selection — the same counts
+//! as flatten-and-sort and k-way merge — while touching far fewer items.
+
+use elmem_core::fusecache::{fusecache, fusecache_instrumented, kway_top_n, sort_merge_top_n};
+use elmem_store::Hotness;
+use elmem_util::{KeyId, SimTime};
+use proptest::prelude::*;
+
+/// Strategy: up to `k` lists of up to `len` items with timestamps in a
+/// narrow range (lots of near-ties) and globally unique keys.
+fn lists_strategy(k: usize, len: usize) -> impl Strategy<Value = Vec<Vec<Hotness>>> {
+    prop::collection::vec(
+        prop::collection::vec(0u64..50, 0..len),
+        0..=k,
+    )
+    .prop_map(|raw| {
+        let mut key = 0u64;
+        raw.into_iter()
+            .map(|ts| {
+                let mut l: Vec<Hotness> = ts
+                    .into_iter()
+                    .map(|t| {
+                        key += 1;
+                        Hotness::new(SimTime::from_nanos(t), KeyId(key))
+                    })
+                    .collect();
+                l.sort_unstable_by(|a, b| b.cmp(a));
+                l
+            })
+            .collect()
+    })
+}
+
+fn refs(lists: &[Vec<Hotness>]) -> Vec<&[Hotness]> {
+    lists.iter().map(|l| l.as_slice()).collect()
+}
+
+proptest! {
+    /// FuseCache returns exactly the optimal per-list counts for every
+    /// (lists, n) — including heavy ties, empty lists, and n beyond total.
+    #[test]
+    fn agrees_with_sort_merge(
+        lists in lists_strategy(6, 40),
+        n in 0usize..300,
+    ) {
+        let r = refs(&lists);
+        prop_assert_eq!(fusecache(&r, n), sort_merge_top_n(&r, n));
+    }
+
+    /// All three algorithms agree pairwise.
+    #[test]
+    fn agrees_with_kway(
+        lists in lists_strategy(5, 30),
+        n in 0usize..200,
+    ) {
+        let r = refs(&lists);
+        let fc = fusecache(&r, n);
+        prop_assert_eq!(&fc, &kway_top_n(&r, n));
+        prop_assert_eq!(&fc, &sort_merge_top_n(&r, n));
+    }
+
+    /// The picks sum to min(n, total) and never exceed any list's length.
+    #[test]
+    fn picks_are_feasible(
+        lists in lists_strategy(8, 25),
+        n in 0usize..400,
+    ) {
+        let r = refs(&lists);
+        let picks = fusecache(&r, n);
+        let total: usize = r.iter().map(|l| l.len()).sum();
+        prop_assert_eq!(picks.iter().sum::<usize>(), n.min(total));
+        for (i, &p) in picks.iter().enumerate() {
+            prop_assert!(p <= r[i].len());
+        }
+    }
+
+    /// Selection optimality stated directly: every selected item is at
+    /// least as hot as every rejected item.
+    #[test]
+    fn selected_dominate_rejected(
+        lists in lists_strategy(5, 30),
+        n in 1usize..120,
+    ) {
+        let r = refs(&lists);
+        let picks = fusecache(&r, n);
+        let coldest_selected = picks
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0)
+            .map(|(i, &p)| r[i][p - 1])
+            .min();
+        let hottest_rejected = picks
+            .iter()
+            .enumerate()
+            .filter(|(i, &p)| p < r[*i].len())
+            .map(|(i, &p)| r[i][p])
+            .max();
+        if let (Some(sel), Some(rej)) = (coldest_selected, hottest_rejected) {
+            prop_assert!(sel >= rej, "selected {sel:?} colder than rejected {rej:?}");
+        }
+    }
+
+    /// Monotonicity: growing n never shrinks any per-list pick.
+    #[test]
+    fn picks_monotone_in_n(
+        lists in lists_strategy(4, 25),
+        n in 0usize..80,
+    ) {
+        let r = refs(&lists);
+        let small = fusecache(&r, n);
+        let large = fusecache(&r, n + 7);
+        for (a, b) in small.iter().zip(&large) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    /// The instrumented variant returns identical picks and round counts
+    /// bounded by O(log(total) + n-commit steps).
+    #[test]
+    fn instrumentation_is_consistent(
+        lists in lists_strategy(6, 40),
+        n in 0usize..200,
+    ) {
+        let r = refs(&lists);
+        let (picks, stats) = fusecache_instrumented(&r, n);
+        prop_assert_eq!(picks, fusecache(&r, n));
+        let total: usize = r.iter().map(|l| l.len()).sum();
+        if total > 0 && n > 0 {
+            // Each round either discards >= 1 item from the windows or
+            // commits >= 1 item: rounds <= total is a loose safety bound;
+            // typical rounds are O(log) — assert a generous cap.
+            prop_assert!(
+                stats.rounds as usize <= 4 * (64 - (total as u64).leading_zeros() as usize + 1)
+                    + n.min(total),
+                "rounds {} for total {total}, n {n}",
+                stats.rounds
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Ring load analysis: how evenly a membership spreads keys and
+//! popularity.
+//!
+//! The evenness of the ring drives two effects the evaluation measures:
+//! the spread in Fig. 7's node-choice experiment and the Naive
+//! comparator's gap in Fig. 8 (see EXPERIMENTS.md). These helpers quantify
+//! imbalance for a given ring and key population.
+
+use std::collections::HashMap;
+
+use elmem_util::{KeyId, NodeId};
+
+use crate::ring::HashRing;
+
+/// Per-node share statistics for a key population (optionally weighted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadStats {
+    /// Each member's share of the total weight, sorted by node id.
+    pub shares: Vec<(NodeId, f64)>,
+    /// max(share) / mean(share): 1.0 = perfectly balanced.
+    pub max_over_mean: f64,
+    /// min(share) / mean(share).
+    pub min_over_mean: f64,
+    /// Coefficient of variation of the shares.
+    pub cv: f64,
+}
+
+impl LoadStats {
+    /// Computes the distribution of `weights` over `ring`'s members.
+    ///
+    /// Pass weight 1.0 per key for key-count balance, or each key's access
+    /// probability for popularity balance.
+    ///
+    /// Returns `None` for an empty ring or empty key set.
+    pub fn compute(
+        ring: &HashRing,
+        keys: impl Iterator<Item = (KeyId, f64)>,
+    ) -> Option<LoadStats> {
+        if ring.is_empty() {
+            return None;
+        }
+        let mut per_node: HashMap<NodeId, f64> =
+            ring.members().iter().map(|&n| (n, 0.0)).collect();
+        let mut total = 0.0;
+        let mut any = false;
+        for (key, w) in keys {
+            let node = ring.node_for(key).expect("ring nonempty");
+            *per_node.entry(node).or_insert(0.0) += w;
+            total += w;
+            any = true;
+        }
+        if !any || total <= 0.0 {
+            return None;
+        }
+        let mut shares: Vec<(NodeId, f64)> = per_node
+            .into_iter()
+            .map(|(n, w)| (n, w / total))
+            .collect();
+        shares.sort_by_key(|(n, _)| *n);
+        let n = shares.len() as f64;
+        let mean = 1.0 / n;
+        let max = shares.iter().map(|(_, s)| *s).fold(0.0, f64::max);
+        let min = shares.iter().map(|(_, s)| *s).fold(1.0, f64::min);
+        let var =
+            shares.iter().map(|(_, s)| (s - mean) * (s - mean)).sum::<f64>() / n;
+        Some(LoadStats {
+            shares,
+            max_over_mean: max / mean,
+            min_over_mean: min / mean,
+            cv: var.sqrt() / mean,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_keys(n: u64) -> impl Iterator<Item = (KeyId, f64)> {
+        (0..n).map(|k| (KeyId(k), 1.0))
+    }
+
+    #[test]
+    fn many_vnodes_balance_well() {
+        let ring = HashRing::new((0..10).map(NodeId), 256);
+        let stats = LoadStats::compute(&ring, uniform_keys(100_000)).unwrap();
+        assert_eq!(stats.shares.len(), 10);
+        assert!(stats.max_over_mean < 1.3, "max/mean {}", stats.max_over_mean);
+        assert!(stats.min_over_mean > 0.7, "min/mean {}", stats.min_over_mean);
+        let total: f64 = stats.shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn few_vnodes_balance_poorly() {
+        let few = HashRing::new((0..10).map(NodeId), 4);
+        let many = HashRing::new((0..10).map(NodeId), 256);
+        let s_few = LoadStats::compute(&few, uniform_keys(100_000)).unwrap();
+        let s_many = LoadStats::compute(&many, uniform_keys(100_000)).unwrap();
+        assert!(
+            s_few.cv > s_many.cv,
+            "few-vnode cv {} should exceed many-vnode cv {}",
+            s_few.cv,
+            s_many.cv
+        );
+    }
+
+    #[test]
+    fn weighting_shifts_shares() {
+        let ring = HashRing::new((0..4).map(NodeId), 64);
+        // All weight on one key: its owner holds share 1.0.
+        let hot_owner = ring.node_for(KeyId(7)).unwrap();
+        let stats =
+            LoadStats::compute(&ring, std::iter::once((KeyId(7), 5.0))).unwrap();
+        for (node, share) in &stats.shares {
+            if *node == hot_owner {
+                assert!((share - 1.0).abs() < 1e-12);
+            } else {
+                assert_eq!(*share, 0.0);
+            }
+        }
+        assert!(stats.max_over_mean > 3.9);
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        let ring = HashRing::new((0..3).map(NodeId), 8);
+        assert!(LoadStats::compute(&ring, std::iter::empty()).is_none());
+        let empty = HashRing::new(std::iter::empty(), 8);
+        assert!(LoadStats::compute(&empty, uniform_keys(5)).is_none());
+    }
+
+    #[test]
+    fn members_with_no_keys_still_reported() {
+        let ring = HashRing::new((0..8).map(NodeId), 64);
+        let stats = LoadStats::compute(&ring, uniform_keys(4)).unwrap();
+        assert_eq!(stats.shares.len(), 8, "all members present in shares");
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the consistent hash ring.
+
+use elmem_hash::HashRing;
+use elmem_util::{KeyId, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every key maps to a member node.
+    #[test]
+    fn placement_lands_on_member(
+        n in 1u32..20,
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let ring = HashRing::new((0..n).map(NodeId), 64);
+        for &k in &keys {
+            let node = ring.node_for(KeyId(k)).unwrap();
+            prop_assert!(ring.members().contains(&node));
+        }
+    }
+
+    /// Consistency: removing one node never moves a key that did not live
+    /// on the removed node.
+    #[test]
+    fn minimal_disruption_on_removal(
+        n in 2u32..20,
+        victim_sel in any::<u32>(),
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let ring = HashRing::new((0..n).map(NodeId), 64);
+        let victim = NodeId(victim_sel % n);
+        let smaller = ring.without(&[victim]);
+        for &k in &keys {
+            let before = ring.node_for(KeyId(k)).unwrap();
+            let after = smaller.node_for(KeyId(k)).unwrap();
+            if before != victim {
+                prop_assert_eq!(before, after);
+            } else {
+                prop_assert_ne!(after, victim);
+            }
+        }
+    }
+
+    /// Adding nodes only moves keys *to* the added nodes.
+    #[test]
+    fn additions_only_gain_keys(
+        n in 1u32..15,
+        added in 1u32..5,
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let ring = HashRing::new((0..n).map(NodeId), 64);
+        let new_ids: Vec<NodeId> = (n..n + added).map(NodeId).collect();
+        let bigger = ring.with(&new_ids);
+        for &k in &keys {
+            let before = ring.node_for(KeyId(k)).unwrap();
+            let after = bigger.node_for(KeyId(k)).unwrap();
+            if before != after {
+                prop_assert!(new_ids.contains(&after));
+            }
+        }
+    }
+}

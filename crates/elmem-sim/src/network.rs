@@ -1,0 +1,147 @@
+//! Network links: latency + serialized bandwidth.
+//!
+//! ElMem "regulates data movement over the network" (§I); migration phases
+//! pipe tarballs of metadata and KV pairs between nodes over ssh (§III-D1).
+//! We model each node's NIC as a [`Link`]: transfers are serialized FIFO
+//! behind earlier transfers on the same link and take
+//! `latency + bytes/bandwidth`.
+
+use elmem_util::{ByteSize, SimTime};
+
+/// A serialized network link (one per node NIC, or one per flow as needed).
+///
+/// # Example
+///
+/// ```
+/// use elmem_sim::Link;
+/// use elmem_util::{ByteSize, SimTime};
+///
+/// // 1 Gbit/s ≈ 125 MB/s, 0.1 ms latency.
+/// let mut link = Link::new(125_000_000.0, SimTime::from_micros(100));
+/// let done = link.schedule_transfer(SimTime::ZERO, ByteSize::from_mib(125));
+/// // ~1.05 s (125 MiB is a bit more than 125 MB).
+/// assert!(done > SimTime::from_secs(1));
+/// assert!(done < SimTime::from_millis(1100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Bytes per second.
+    bandwidth: f64,
+    /// Per-transfer propagation/setup latency.
+    latency: SimTime,
+    /// The instant the link frees up.
+    busy_until: SimTime,
+    /// Total bytes ever scheduled.
+    bytes_sent: u64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bytes_per_sec` is not strictly positive/finite.
+    pub fn new(bandwidth_bytes_per_sec: f64, latency: SimTime) -> Self {
+        assert!(
+            bandwidth_bytes_per_sec > 0.0 && bandwidth_bytes_per_sec.is_finite(),
+            "invalid bandwidth"
+        );
+        Link {
+            bandwidth: bandwidth_bytes_per_sec,
+            latency,
+            busy_until: SimTime::ZERO,
+            bytes_sent: 0,
+        }
+    }
+
+    /// A 1 Gbit/s link with 0.1 ms latency (a typical cloud-VM NIC, matching
+    /// the paper's OpenStack setup scale).
+    pub fn gigabit() -> Self {
+        Link::new(125_000_000.0, SimTime::from_micros(100))
+    }
+
+    /// Schedules a FIFO transfer starting no earlier than `now`; returns its
+    /// completion time and advances the link's busy horizon.
+    pub fn schedule_transfer(&mut self, now: SimTime, bytes: ByteSize) -> SimTime {
+        let start = self.busy_until.max(now);
+        let duration = SimTime::from_secs_f64(bytes.as_f64() / self.bandwidth) + self.latency;
+        self.busy_until = start + duration;
+        self.bytes_sent += bytes.as_u64();
+        self.busy_until
+    }
+
+    /// Pure query: transfer duration for `bytes` on an idle link.
+    pub fn transfer_time(&self, bytes: ByteSize) -> SimTime {
+        SimTime::from_secs_f64(bytes.as_f64() / self.bandwidth) + self.latency
+    }
+
+    /// When the link next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total bytes scheduled on this link.
+    pub fn bytes_sent(&self) -> ByteSize {
+        ByteSize(self.bytes_sent)
+    }
+
+    /// Link bandwidth, bytes/s.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let link = Link::new(1000.0, SimTime::ZERO);
+        assert_eq!(
+            link.transfer_time(ByteSize(500)),
+            SimTime::from_millis(500)
+        );
+        assert_eq!(link.transfer_time(ByteSize(2000)), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn transfers_serialize_fifo() {
+        let mut link = Link::new(1000.0, SimTime::ZERO);
+        let first = link.schedule_transfer(SimTime::ZERO, ByteSize(1000));
+        assert_eq!(first, SimTime::from_secs(1));
+        // Second transfer submitted at t=0 must wait for the first.
+        let second = link.schedule_transfer(SimTime::ZERO, ByteSize(1000));
+        assert_eq!(second, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn idle_gap_is_not_accumulated() {
+        let mut link = Link::new(1000.0, SimTime::ZERO);
+        link.schedule_transfer(SimTime::ZERO, ByteSize(1000));
+        // Submit long after the link idles: starts at `now`.
+        let done = link.schedule_transfer(SimTime::from_secs(10), ByteSize(1000));
+        assert_eq!(done, SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn latency_added_per_transfer() {
+        let mut link = Link::new(1_000_000.0, SimTime::from_millis(5));
+        let done = link.schedule_transfer(SimTime::ZERO, ByteSize(0));
+        assert_eq!(done, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn accounting_tracks_bytes() {
+        let mut link = Link::gigabit();
+        link.schedule_transfer(SimTime::ZERO, ByteSize(123));
+        link.schedule_transfer(SimTime::ZERO, ByteSize(877));
+        assert_eq!(link.bytes_sent(), ByteSize(1000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        let _ = Link::new(0.0, SimTime::ZERO);
+    }
+}

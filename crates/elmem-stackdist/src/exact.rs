@@ -1,0 +1,311 @@
+//! Exact byte-weighted stack distances via a Fenwick (binary indexed) tree.
+//!
+//! Classic single-pass algorithm: keep, for every key, the position of its
+//! last access; a Fenwick tree over positions holds the byte footprint of
+//! each key *at its most recent access only*. The stack distance of a new
+//! access to key `k` is then the sum of footprints at positions after `k`'s
+//! previous access — i.e. the unique bytes touched in between.
+
+use std::collections::HashMap;
+
+use elmem_util::KeyId;
+
+/// Fenwick tree over u64 weights.
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn with_capacity(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Adds `delta` at 0-based position `i` (delta may be "negative" via
+    /// wrapping — callers only ever remove what they added).
+    fn add(&mut self, i: usize, delta: i128) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i128 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based, inclusive).
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i + 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    fn grow(&mut self) {
+        // Rebuild at double capacity, preserving point values.
+        let old_n = self.len();
+        let mut values = vec![0u64; old_n];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.prefix(i) - if i == 0 { 0 } else { self.prefix(i - 1) };
+        }
+        let mut bigger = Fenwick::with_capacity((old_n * 2).max(1024));
+        for (i, v) in values.into_iter().enumerate() {
+            if v != 0 {
+                bigger.add(i, v as i128);
+            }
+        }
+        *self = bigger;
+    }
+}
+
+/// Exact stack-distance engine (byte-weighted).
+///
+/// [`record`](Self::record) returns the distance of each access:
+/// `None` for a cold (first-ever) access, otherwise the number of unique
+/// bytes accessed since the key's previous access — the smallest LRU cache
+/// size (in bytes of item footprint) at which this access would hit.
+///
+/// # Example
+///
+/// ```
+/// use elmem_stackdist::ExactStackDistance;
+/// use elmem_util::KeyId;
+///
+/// let mut e = ExactStackDistance::new();
+/// assert_eq!(e.record(KeyId(1), 100), None);      // cold
+/// assert_eq!(e.record(KeyId(2), 50), None);       // cold
+/// assert_eq!(e.record(KeyId(1), 100), Some(150)); // k2 + k1 itself
+/// assert_eq!(e.record(KeyId(1), 100), Some(100)); // immediate reuse
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactStackDistance {
+    fenwick: Fenwick,
+    last_pos: HashMap<KeyId, usize>,
+    footprint: HashMap<KeyId, u64>,
+    time: usize,
+}
+
+impl Default for ExactStackDistance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactStackDistance {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        ExactStackDistance {
+            fenwick: Fenwick::with_capacity(1024),
+            last_pos: HashMap::new(),
+            footprint: HashMap::new(),
+            time: 0,
+        }
+    }
+
+    /// Number of accesses recorded.
+    pub fn accesses(&self) -> usize {
+        self.time
+    }
+
+    /// Number of distinct keys seen.
+    pub fn unique_keys(&self) -> usize {
+        self.last_pos.len()
+    }
+
+    /// Records an access to `key` whose item footprint is `bytes`; returns
+    /// the byte-weighted stack distance (`None` = cold access).
+    ///
+    /// The distance *includes* the key's own footprint, so a distance `d`
+    /// means the access hits in any LRU cache of capacity `>= d` bytes.
+    pub fn record(&mut self, key: KeyId, bytes: u64) -> Option<u64> {
+        if self.time >= self.fenwick.len() {
+            self.compact_or_grow();
+        }
+        let pos = self.time;
+        let result = match self.last_pos.get(&key).copied() {
+            Some(prev) => {
+                // Unique bytes of *other* keys accessed strictly after
+                // `prev`: the prefix through `prev` includes this key's own
+                // weight, so the suffix beyond it is exactly the others.
+                // Add the item's own (new) footprint — it must itself fit
+                // in the cache for the access to hit.
+                let others = self.total() - self.fenwick.prefix(prev);
+                let own = self.footprint[&key];
+                self.fenwick.add(prev, -(own as i128));
+                Some(others + bytes)
+            }
+            None => None,
+        };
+        self.fenwick.add(pos, bytes as i128);
+        self.last_pos.insert(key, pos);
+        self.footprint.insert(key, bytes);
+        self.time += 1;
+        result
+    }
+
+    fn total(&self) -> u64 {
+        if self.fenwick.len() == 0 {
+            0
+        } else {
+            self.fenwick.prefix(self.fenwick.len() - 1)
+        }
+    }
+
+    /// When positions run out: if many positions are dead (keys re-accessed),
+    /// compact live positions to the front; otherwise grow the tree.
+    fn compact_or_grow(&mut self) {
+        let live = self.last_pos.len();
+        if live * 2 <= self.time {
+            // Compact: renumber live keys by their current position order.
+            let mut order: Vec<(usize, KeyId)> = self
+                .last_pos
+                .iter()
+                .map(|(k, &p)| (p, *k))
+                .collect();
+            order.sort_unstable();
+            let mut fenwick = Fenwick::with_capacity(self.fenwick.len());
+            for (new_pos, &(_, key)) in order.iter().enumerate() {
+                fenwick.add(new_pos, self.footprint[&key] as i128);
+                self.last_pos.insert(key, new_pos);
+            }
+            self.fenwick = fenwick;
+            self.time = live;
+        } else {
+            self.fenwick.grow();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Brute-force reference: unique bytes between successive accesses.
+    fn brute_force(trace: &[(u64, u64)]) -> Vec<Option<u64>> {
+        let mut out = Vec::new();
+        for (i, &(key, bytes)) in trace.iter().enumerate() {
+            let prev = trace[..i].iter().rposition(|&(k, _)| k == key);
+            match prev {
+                None => out.push(None),
+                Some(p) => {
+                    // Each intervening key occupies its *latest* footprint
+                    // at the time of the re-access: scan in reverse and
+                    // count the first (most recent) occurrence.
+                    let mut seen: HashSet<u64> = HashSet::new();
+                    let mut sum = 0u64;
+                    for &(k, b) in trace[p + 1..i].iter().rev() {
+                        if k != key && seen.insert(k) {
+                            sum += b;
+                        }
+                    }
+                    out.push(Some(sum + bytes));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        let trace = vec![
+            (1, 100),
+            (2, 50),
+            (1, 100),
+            (3, 10),
+            (2, 50),
+            (1, 100),
+            (1, 100),
+        ];
+        let mut e = ExactStackDistance::new();
+        let got: Vec<Option<u64>> = trace.iter().map(|&(k, b)| e.record(KeyId(k), b)).collect();
+        assert_eq!(got, brute_force(&trace));
+    }
+
+    #[test]
+    fn matches_brute_force_with_duplicate_interleavings() {
+        // Repeated accesses to the same intervening key must count once.
+        let trace = vec![(1, 10), (2, 20), (2, 20), (2, 20), (1, 10)];
+        let mut e = ExactStackDistance::new();
+        let got: Vec<Option<u64>> = trace.iter().map(|&(k, b)| e.record(KeyId(k), b)).collect();
+        assert_eq!(got, brute_force(&trace));
+        assert_eq!(got[4], Some(30)); // 20 (key2 once) + own 10
+    }
+
+    #[test]
+    fn immediate_reuse_distance_is_own_size() {
+        let mut e = ExactStackDistance::new();
+        e.record(KeyId(7), 64);
+        assert_eq!(e.record(KeyId(7), 64), Some(64));
+    }
+
+    #[test]
+    fn cold_accesses_are_none() {
+        let mut e = ExactStackDistance::new();
+        for k in 0..100 {
+            assert_eq!(e.record(KeyId(k), 8), None);
+        }
+        assert_eq!(e.unique_keys(), 100);
+        assert_eq!(e.accesses(), 100);
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        // Force many dead positions by cycling a small key set many times.
+        let mut e = ExactStackDistance::new();
+        let keys = 16u64;
+        let mut expected_after_warm = Vec::new();
+        for round in 0..2000u64 {
+            for k in 0..keys {
+                let d = e.record(KeyId(k), 10);
+                if round > 0 {
+                    expected_after_warm.push(d);
+                }
+            }
+        }
+        // Every warm access cycles through all other keys once: 16 * 10.
+        assert!(expected_after_warm
+            .iter()
+            .all(|&d| d == Some(keys * 10)));
+    }
+
+    #[test]
+    fn growth_preserves_distances() {
+        // All-unique keys force tree growth without compaction opportunity.
+        let mut e = ExactStackDistance::new();
+        for k in 0..5000u64 {
+            assert_eq!(e.record(KeyId(k), 1), None);
+        }
+        // Re-access the first key: distance = all 5000 keys' bytes.
+        assert_eq!(e.record(KeyId(0), 1), Some(5000));
+    }
+
+    #[test]
+    fn randomized_against_brute_force() {
+        use elmem_util::DetRng;
+        let mut rng = DetRng::seed(42);
+        let trace: Vec<(u64, u64)> = (0..300)
+            .map(|_| (rng.next_below(30), 1 + rng.next_below(100)))
+            .collect();
+        let mut e = ExactStackDistance::new();
+        let got: Vec<Option<u64>> = trace.iter().map(|&(k, b)| e.record(KeyId(k), b)).collect();
+        assert_eq!(got, brute_force(&trace));
+    }
+
+    #[test]
+    fn changing_item_size_uses_new_size() {
+        let trace = vec![(1, 10), (2, 5), (1, 99)];
+        let mut e = ExactStackDistance::new();
+        let got: Vec<Option<u64>> = trace.iter().map(|&(k, b)| e.record(KeyId(k), b)).collect();
+        // Distance counts key2 (5) + the *new* footprint (99).
+        assert_eq!(got[2], Some(104));
+        assert_eq!(got, brute_force(&trace));
+    }
+}

@@ -1,0 +1,107 @@
+//! Metadata dumps: the "timestamp dump" modification ElMem adds to
+//! Memcached (§V-A1), used in migration phase 1 (§III-D1).
+
+use elmem_util::ByteSize;
+use serde::{Deserialize, Serialize};
+
+use crate::classes::ClassId;
+use crate::item::{ItemMeta, KEY_BYTES, TIMESTAMP_BYTES};
+
+/// MRU-ordered metadata of one slab class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDump {
+    /// Which class this dump describes.
+    pub class: ClassId,
+    /// Items in MRU (hottest-first) order.
+    pub items: Vec<ItemMeta>,
+}
+
+impl ClassDump {
+    /// Wraps an MRU-ordered item list, canonicalizing the order to strictly
+    /// descending [hotness](crate::Hotness).
+    ///
+    /// The store's MRU list is ordered by *access recency*; items touched in
+    /// the same instant may appear in either order there. Dumps are the
+    /// interchange format between nodes, so they re-sort by full hotness
+    /// (timestamp + tie-break). The list is already nearly sorted, making
+    /// this cheap in practice.
+    pub fn new(class: ClassId, mut items: Vec<ItemMeta>) -> Self {
+        items.sort_by_key(|i| std::cmp::Reverse(i.hotness()));
+        ClassDump { class, items }
+    }
+
+    /// Number of items in the dump.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the dump holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Bytes this dump occupies on the wire during the metadata-transfer
+    /// phase: key (11 B) + timestamp (10 B) per item — values are *not*
+    /// shipped in phase 1 (§III-D1).
+    pub fn wire_bytes(&self) -> ByteSize {
+        ByteSize((KEY_BYTES + TIMESTAMP_BYTES) * self.items.len() as u64)
+    }
+}
+
+/// Metadata dump of a whole store (all non-empty classes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetadataDump {
+    /// Per-class dumps.
+    pub classes: Vec<ClassDump>,
+}
+
+impl MetadataDump {
+    /// Wraps a set of per-class dumps.
+    pub fn new(classes: Vec<ClassDump>) -> Self {
+        MetadataDump { classes }
+    }
+
+    /// Total items across all classes.
+    pub fn total_items(&self) -> u64 {
+        self.classes.iter().map(|c| c.items.len() as u64).sum()
+    }
+
+    /// Total wire bytes of the metadata transfer.
+    pub fn wire_bytes(&self) -> ByteSize {
+        self.classes.iter().map(|c| c.wire_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmem_util::{KeyId, SimTime};
+
+    fn item(k: u64, ts: u64) -> ItemMeta {
+        ItemMeta { key: KeyId(k), value_size: 10, last_access: SimTime::from_secs(ts), expires: SimTime::MAX }
+    }
+
+    #[test]
+    fn wire_bytes_is_21_per_item() {
+        let d = ClassDump::new(ClassId(0), vec![item(1, 1), item(2, 2)]);
+        assert_eq!(d.wire_bytes().as_u64(), 42);
+    }
+
+    #[test]
+    fn metadata_dump_totals() {
+        let d = MetadataDump::new(vec![
+            ClassDump::new(ClassId(0), vec![item(1, 1)]),
+            ClassDump::new(ClassId(1), vec![item(2, 2), item(3, 3)]),
+        ]);
+        assert_eq!(d.total_items(), 3);
+        assert_eq!(d.wire_bytes().as_u64(), 63);
+    }
+
+    #[test]
+    fn empty_dump() {
+        let d = MetadataDump::default();
+        assert_eq!(d.total_items(), 0);
+        assert_eq!(d.wire_bytes(), ByteSize::ZERO);
+        assert!(ClassDump::new(ClassId(0), vec![]).is_empty());
+    }
+}

@@ -1,0 +1,1235 @@
+//! The slab store: pages, chunks, MRU lists, LRU eviction.
+
+use std::collections::HashMap;
+
+use elmem_util::{ByteSize, ElmemError, KeyId, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::classes::{ClassId, SizeClasses};
+use crate::dump::{ClassDump, MetadataDump};
+use crate::item::{item_footprint, Hotness, ItemMeta};
+
+const NIL: u32 = u32::MAX;
+
+/// Configuration for a [`SlabStore`].
+///
+/// # Example
+///
+/// ```
+/// use elmem_store::StoreConfig;
+/// use elmem_util::ByteSize;
+///
+/// let cfg = StoreConfig::with_memory(ByteSize::from_gib(4));
+/// assert_eq!(cfg.memory, ByteSize::from_gib(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Total memory dedicated to item storage.
+    pub memory: ByteSize,
+    /// The slab size-class ladder.
+    pub classes: SizeClasses,
+}
+
+impl StoreConfig {
+    /// Config with the given memory and Memcached's default class ladder.
+    pub fn with_memory(memory: ByteSize) -> Self {
+        StoreConfig {
+            memory,
+            classes: SizeClasses::memcached_default(),
+        }
+    }
+}
+
+/// How [`SlabStore::batch_import`] merges migrated items into the local
+/// MRU list (§III-D3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImportMode {
+    /// Merge by hotness so the class list stays globally MRU-sorted.
+    /// This is the mode ElMem uses: it preserves the sortedness invariant
+    /// that later FuseCache invocations rely on.
+    Merge,
+    /// Prepend the (hotter) migrated items at the MRU head in the given
+    /// order, as the paper's prose describes; colder residents shift toward
+    /// the tail. Slightly cheaper but can leave the list locally unsorted.
+    Prepend,
+}
+
+/// Cumulative operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// `get` calls that found the key.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Successful `set` calls (inserts and updates).
+    pub sets: u64,
+    /// Items evicted by the LRU policy.
+    pub evictions: u64,
+    /// Items removed by explicit `delete`.
+    pub deletes: u64,
+    /// Items accepted by `batch_import`.
+    pub imported: u64,
+    /// Items reclaimed because their TTL elapsed (lazily on access or by
+    /// the LRU crawler).
+    pub expired: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    item: Option<ItemMeta>,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug, Clone)]
+struct ClassState {
+    chunks_per_page: u64,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: u64,
+    pages: u64,
+    bytes_used: u64,
+    /// Evictions + allocation failures since the pressure counter was last
+    /// read (drives the slab rebalancer's recipient choice).
+    pressure: u64,
+}
+
+impl ClassState {
+    fn new(chunks_per_page: u64) -> Self {
+        ClassState {
+            chunks_per_page,
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            pages: 0,
+            bytes_used: 0,
+            pressure: 0,
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx as usize].prev = NIL;
+        self.slots[idx as usize].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.slots[idx as usize].prev = NIL;
+        self.slots[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn push_back(&mut self, idx: u32) {
+        self.slots[idx as usize].next = NIL;
+        self.slots[idx as usize].prev = self.tail;
+        if self.tail != NIL {
+            self.slots[self.tail as usize].next = idx;
+        }
+        self.tail = idx;
+        if self.head == NIL {
+            self.head = idx;
+        }
+    }
+
+    /// Adds one page worth of empty chunks.
+    fn add_page(&mut self) {
+        let start = self.slots.len() as u32;
+        for i in 0..self.chunks_per_page {
+            self.slots.push(Slot {
+                item: None,
+                prev: NIL,
+                next: NIL,
+            });
+            self.free.push(start + i as u32);
+        }
+        self.pages += 1;
+    }
+}
+
+/// A single Memcached node's storage engine.
+///
+/// See the [crate-level documentation](crate) for the model. All operations
+/// take the current simulated time explicitly; the store has no internal
+/// clock.
+#[derive(Debug, Clone)]
+pub struct SlabStore {
+    classes: SizeClasses,
+    class_states: Vec<ClassState>,
+    index: HashMap<KeyId, (u16, u32)>,
+    pages_total: u64,
+    pages_used: u64,
+    stats: StoreStats,
+}
+
+impl SlabStore {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured memory is smaller than one page.
+    pub fn new(config: StoreConfig) -> Self {
+        let pages_total = config.memory.as_u64() / ByteSize::PAGE.as_u64();
+        assert!(pages_total > 0, "store memory below one 1MB page");
+        let class_states = config
+            .classes
+            .ids()
+            .map(|id| {
+                ClassState::new(config.classes.chunks_per_page(id))
+            })
+            .collect();
+        SlabStore {
+            classes: config.classes,
+            class_states,
+            index: HashMap::new(),
+            pages_total,
+            pages_used: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The size-class ladder in use.
+    pub fn classes(&self) -> &SizeClasses {
+        &self.classes
+    }
+
+    /// Total pages of memory this store may use.
+    pub fn pages_total(&self) -> u64 {
+        self.pages_total
+    }
+
+    /// Pages currently assigned to classes.
+    pub fn pages_used(&self) -> u64 {
+        self.pages_used
+    }
+
+    /// Pages assigned to one class.
+    pub fn pages_of_class(&self, id: ClassId) -> u64 {
+        self.class_states[id.0 as usize].pages
+    }
+
+    /// Number of items resident in one class.
+    pub fn len_of_class(&self, id: ClassId) -> u64 {
+        self.class_states[id.0 as usize].len
+    }
+
+    /// Total resident items.
+    pub fn len(&self) -> u64 {
+        self.index.len() as u64
+    }
+
+    /// Whether the store holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Bytes of item payload currently resident (footprints, not chunks).
+    pub fn bytes_used(&self) -> ByteSize {
+        ByteSize(self.class_states.iter().map(|c| c.bytes_used).sum())
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// For each class, the fraction of this store's *used* pages assigned to
+    /// it — the weight `w_b` in the paper's node-scoring formula (§III-C).
+    pub fn page_weights(&self) -> Vec<(ClassId, f64)> {
+        let used = self.pages_used.max(1) as f64;
+        self.classes
+            .ids()
+            .map(|id| (id, self.class_states[id.0 as usize].pages as f64 / used))
+            .collect()
+    }
+
+    /// Looks up a key, refreshing its MRU position and timestamp on hit.
+    ///
+    /// An item whose TTL has elapsed is reclaimed lazily here and reported
+    /// as a miss (Memcached's lazy-expiry semantics).
+    pub fn get(&mut self, key: KeyId, now: SimTime) -> Option<ItemMeta> {
+        match self.index.get(&key).copied() {
+            Some((class, idx)) => {
+                if self.class_states[class as usize].slots[idx as usize]
+                    .item
+                    .expect("indexed slot is occupied")
+                    .is_expired(now)
+                {
+                    self.remove_entry(key);
+                    self.stats.expired += 1;
+                    self.stats.misses += 1;
+                    return None;
+                }
+                self.stats.hits += 1;
+                let state = &mut self.class_states[class as usize];
+                state.unlink(idx);
+                state.push_front(idx);
+                let item = state.slots[idx as usize]
+                    .item
+                    .as_mut()
+                    .expect("indexed slot is occupied");
+                item.last_access = now;
+                Some(*item)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a key without disturbing MRU order or counters.
+    pub fn peek(&self, key: KeyId) -> Option<ItemMeta> {
+        let (class, idx) = self.index.get(&key).copied()?;
+        self.class_states[class as usize].slots[idx as usize].item
+    }
+
+    /// Whether a key is resident.
+    pub fn contains(&self, key: KeyId) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Inserts or updates a key, moving it to the MRU head.
+    ///
+    /// # Errors
+    ///
+    /// * [`ElmemError::ItemTooLarge`] if the footprint exceeds the largest
+    ///   chunk;
+    /// * [`ElmemError::OutOfMemory`] if no free chunk, free page, or
+    ///   evictable item exists in the needed class.
+    pub fn set(&mut self, key: KeyId, value_size: u32, now: SimTime) -> Result<(), ElmemError> {
+        self.set_item(ItemMeta::new(key, value_size, now))
+    }
+
+    /// Inserts or updates a key with a time-to-live (Memcached `exptime`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`set`](Self::set).
+    pub fn set_with_ttl(
+        &mut self,
+        key: KeyId,
+        value_size: u32,
+        now: SimTime,
+        ttl: SimTime,
+    ) -> Result<(), ElmemError> {
+        self.set_item(ItemMeta::with_ttl(key, value_size, now, ttl))
+    }
+
+    /// Memcached's `add`: stores only if the key is absent (or expired).
+    /// Returns whether the value was stored.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`set`](Self::set).
+    pub fn add(&mut self, key: KeyId, value_size: u32, now: SimTime) -> Result<bool, ElmemError> {
+        if self.peek_live(key, now).is_some() {
+            return Ok(false);
+        }
+        self.set(key, value_size, now)?;
+        Ok(true)
+    }
+
+    /// Memcached's `replace`: stores only if the key is present (and not
+    /// expired). Returns whether the value was stored.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`set`](Self::set).
+    pub fn replace(
+        &mut self,
+        key: KeyId,
+        value_size: u32,
+        now: SimTime,
+    ) -> Result<bool, ElmemError> {
+        if self.peek_live(key, now).is_none() {
+            return Ok(false);
+        }
+        self.set(key, value_size, now)?;
+        Ok(true)
+    }
+
+    /// Memcached's `cas` (check-and-set): stores only if the item's current
+    /// MRU timestamp equals `expected_last_access` — the store's analogue of
+    /// the CAS token, which changes on every write or touch. Returns whether
+    /// the value was stored.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`set`](Self::set).
+    pub fn cas(
+        &mut self,
+        key: KeyId,
+        value_size: u32,
+        now: SimTime,
+        expected_last_access: SimTime,
+    ) -> Result<bool, ElmemError> {
+        match self.peek_live(key, now) {
+            Some(item) if item.last_access == expected_last_access => {
+                self.set(key, value_size, now)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Like [`peek`](Self::peek) but treating an expired item as absent
+    /// (without reclaiming it).
+    pub fn peek_live(&self, key: KeyId, now: SimTime) -> Option<ItemMeta> {
+        self.peek(key).filter(|item| !item.is_expired(now))
+    }
+
+    fn set_item(&mut self, new_item: ItemMeta) -> Result<(), ElmemError> {
+        let ItemMeta { key, value_size, last_access: now, expires } = new_item;
+        let footprint = item_footprint(value_size);
+        let class = self
+            .classes
+            .class_for(footprint)
+            .ok_or(ElmemError::ItemTooLarge {
+                item_bytes: footprint,
+                max_chunk_bytes: self.classes.max_chunk(),
+            })?;
+
+        if let Some((old_class, idx)) = self.index.get(&key).copied() {
+            if old_class == class.0 {
+                // Update in place.
+                let state = &mut self.class_states[old_class as usize];
+                state.unlink(idx);
+                state.push_front(idx);
+                let item = state.slots[idx as usize]
+                    .item
+                    .as_mut()
+                    .expect("indexed slot is occupied");
+                state.bytes_used -= item.footprint();
+                item.value_size = value_size;
+                item.last_access = now;
+                item.expires = expires;
+                state.bytes_used += footprint;
+                self.stats.sets += 1;
+                return Ok(());
+            }
+            // Size-class change: remove, then insert fresh below.
+            self.remove_entry(key);
+        }
+
+        let idx = self.alloc_slot(class)?;
+        let state = &mut self.class_states[class.0 as usize];
+        state.slots[idx as usize].item = Some(ItemMeta {
+            key,
+            value_size,
+            last_access: now,
+            expires,
+        });
+        state.push_front(idx);
+        state.len += 1;
+        state.bytes_used += footprint;
+        self.index.insert(key, (class.0, idx));
+        self.stats.sets += 1;
+        Ok(())
+    }
+
+    /// Refreshes a key's TTL and MRU position without rewriting the value
+    /// (Memcached's `touch` command). Returns the refreshed metadata, or
+    /// `None` if the key is absent or already expired.
+    pub fn touch(&mut self, key: KeyId, now: SimTime, ttl: SimTime) -> Option<ItemMeta> {
+        self.get(key, now)?;
+        let (class, idx) = self.index.get(&key).copied()?;
+        let item = self.class_states[class as usize].slots[idx as usize]
+            .item
+            .as_mut()
+            .expect("indexed slot is occupied");
+        item.expires = now.checked_add(ttl).unwrap_or(SimTime::MAX);
+        Some(*item)
+    }
+
+    /// Drops every item (Memcached's `flush_all`), keeping page
+    /// assignments (real Memcached never returns pages either).
+    pub fn flush_all(&mut self) {
+        let keys: Vec<KeyId> = self.index.keys().copied().collect();
+        for key in keys {
+            self.remove_entry(key);
+            self.stats.deletes += 1;
+        }
+    }
+
+    /// One bounded pass of the LRU crawler (the mechanism behind the
+    /// paper's timestamp-dump patch, §V-A1): walks each class from the
+    /// cold end reclaiming expired items, visiting at most `budget` items
+    /// in total. Returns the number reclaimed.
+    pub fn crawl_expired(&mut self, now: SimTime, budget: u64) -> u64 {
+        let mut visited = 0u64;
+        let mut reclaimed = 0u64;
+        let class_ids: Vec<ClassId> = self.classes.ids().collect();
+        for class in class_ids {
+            let mut cursor = self.class_states[class.0 as usize].tail;
+            while cursor != NIL && visited < budget {
+                let slot = &self.class_states[class.0 as usize].slots[cursor as usize];
+                let item = slot.item.expect("linked slot is occupied");
+                let prev = slot.prev;
+                visited += 1;
+                if item.is_expired(now) {
+                    self.remove_entry(item.key);
+                    self.stats.expired += 1;
+                    reclaimed += 1;
+                }
+                cursor = prev;
+            }
+            if visited >= budget {
+                break;
+            }
+        }
+        reclaimed
+    }
+
+    /// Removes a key; returns whether it was present.
+    pub fn delete(&mut self, key: KeyId) -> bool {
+        let removed = self.remove_entry(key).is_some();
+        if removed {
+            self.stats.deletes += 1;
+        }
+        removed
+    }
+
+    fn remove_entry(&mut self, key: KeyId) -> Option<ItemMeta> {
+        let (class, idx) = self.index.remove(&key)?;
+        let state = &mut self.class_states[class as usize];
+        state.unlink(idx);
+        let item = state.slots[idx as usize]
+            .item
+            .take()
+            .expect("indexed slot is occupied");
+        state.free.push(idx);
+        state.len -= 1;
+        state.bytes_used -= item.footprint();
+        Some(item)
+    }
+
+    /// Evicts the LRU tail of `class`. Returns the evicted item, or `None`
+    /// if the class is empty.
+    pub fn evict_lru(&mut self, class: ClassId) -> Option<ItemMeta> {
+        let tail = self.class_states[class.0 as usize].tail;
+        if tail == NIL {
+            return None;
+        }
+        let key = self.class_states[class.0 as usize].slots[tail as usize]
+            .item
+            .as_ref()
+            .expect("tail slot is occupied")
+            .key;
+        let item = self.remove_entry(key);
+        self.stats.evictions += 1;
+        self.class_states[class.0 as usize].pressure += 1;
+        item
+    }
+
+    fn alloc_slot(&mut self, class: ClassId) -> Result<u32, ElmemError> {
+        let ci = class.0 as usize;
+        if let Some(idx) = self.class_states[ci].free.pop() {
+            return Ok(idx);
+        }
+        if self.pages_used < self.pages_total {
+            self.class_states[ci].add_page();
+            self.pages_used += 1;
+            return Ok(self.class_states[ci]
+                .free
+                .pop()
+                .expect("fresh page provides free chunks"));
+        }
+        // Evict from the same class (Memcached semantics).
+        if self.evict_lru(class).is_some() {
+            return Ok(self.class_states[ci]
+                .free
+                .pop()
+                .expect("eviction frees a chunk"));
+        }
+        self.class_states[ci].pressure += 1;
+        Err(ElmemError::OutOfMemory)
+    }
+
+    /// Like [`Self::alloc_slot`] but never evicts; `None` when the class is
+    /// at capacity and no free pages remain.
+    fn alloc_slot_no_evict(&mut self, class: ClassId) -> Option<u32> {
+        let ci = class.0 as usize;
+        if let Some(idx) = self.class_states[ci].free.pop() {
+            return Some(idx);
+        }
+        if self.pages_used < self.pages_total {
+            self.class_states[ci].add_page();
+            self.pages_used += 1;
+            return self.class_states[ci].free.pop();
+        }
+        None
+    }
+
+    /// Free chunks currently available in a class.
+    pub fn free_chunks_of_class(&self, id: ClassId) -> u64 {
+        self.class_states[id.0 as usize].free.len() as u64
+    }
+
+    /// Eviction/allocation-failure pressure accumulated by a class since
+    /// the counters were last reset (see the `rebalance` module).
+    pub fn eviction_pressure(&self, id: ClassId) -> u64 {
+        self.class_states[id.0 as usize].pressure
+    }
+
+    /// Resets all per-class pressure counters.
+    pub fn reset_eviction_pressure(&mut self) {
+        for state in &mut self.class_states {
+            state.pressure = 0;
+        }
+    }
+
+    /// Moves one page of chunks from class `from` to class `to`
+    /// (Memcached's slab rebalancer). The donor evicts its coldest items to
+    /// vacate one page's worth of chunks; survivors are compacted so the
+    /// physical page can be handed over.
+    ///
+    /// Returns the number of items evicted from the donor.
+    ///
+    /// # Errors
+    ///
+    /// [`ElmemError::InvalidConfig`] if `from == to`;
+    /// [`ElmemError::InvalidScaling`] if the donor has no page to give.
+    pub fn reassign_page(&mut self, from: ClassId, to: ClassId) -> Result<u64, ElmemError> {
+        if from == to {
+            return Err(ElmemError::InvalidConfig(
+                "cannot reassign a page to the same class".to_string(),
+            ));
+        }
+        if self.class_states[from.0 as usize].pages == 0 {
+            return Err(ElmemError::InvalidScaling(format!(
+                "{from} has no page to donate"
+            )));
+        }
+        let cpp = self.class_states[from.0 as usize].chunks_per_page;
+        // 1. Evict the donor's coldest items until one page's worth of
+        //    chunks is free.
+        let mut evicted = 0u64;
+        while (self.class_states[from.0 as usize].free.len() as u64) < cpp {
+            if self.evict_lru(from).is_none() {
+                break;
+            }
+            evicted += 1;
+        }
+        // 2. Compact: relocate survivors out of the last page's slot range.
+        let fi = from.0 as usize;
+        let cutoff = self.class_states[fi].slots.len() - cpp as usize;
+        // Free slots below the cutoff are the relocation targets.
+        let mut targets: Vec<u32> = self.class_states[fi]
+            .free
+            .iter()
+            .copied()
+            .filter(|&i| (i as usize) < cutoff)
+            .collect();
+        for idx in cutoff as u32..self.class_states[fi].slots.len() as u32 {
+            if self.class_states[fi].slots[idx as usize].item.is_none() {
+                continue;
+            }
+            let dest = targets.pop().expect("enough free slots below cutoff");
+            self.move_slot(from, idx, dest);
+        }
+        // 3. Shrink the donor and grow the recipient.
+        {
+            let state = &mut self.class_states[fi];
+            state.free.retain(|&i| (i as usize) < cutoff);
+            state.slots.truncate(cutoff);
+            state.pages -= 1;
+        }
+        self.pages_used -= 1;
+        // Recipient takes the page (add_page bumps its page count).
+        self.class_states[to.0 as usize].add_page();
+        self.pages_used += 1;
+        Ok(evicted)
+    }
+
+    /// Moves an occupied slot to a free slot within the same class,
+    /// preserving its MRU position.
+    fn move_slot(&mut self, class: ClassId, src: u32, dst: u32) {
+        let ci = class.0 as usize;
+        // Remove dst from the free list (the caller popped it from a copy).
+        self.class_states[ci].free.retain(|&i| i != dst);
+        let (item, prev, next) = {
+            let slot = &self.class_states[ci].slots[src as usize];
+            (
+                slot.item.expect("source slot is occupied"),
+                slot.prev,
+                slot.next,
+            )
+        };
+        {
+            let state = &mut self.class_states[ci];
+            state.slots[dst as usize].item = Some(item);
+            state.slots[dst as usize].prev = prev;
+            state.slots[dst as usize].next = next;
+            if prev != NIL {
+                state.slots[prev as usize].next = dst;
+            } else {
+                state.head = dst;
+            }
+            if next != NIL {
+                state.slots[next as usize].prev = dst;
+            } else {
+                state.tail = dst;
+            }
+            state.slots[src as usize] = Slot {
+                item: None,
+                prev: NIL,
+                next: NIL,
+            };
+            state.free.push(src);
+        }
+        self.index.insert(item.key, (class.0, dst));
+    }
+
+    /// Iterates a class's items in MRU (hottest-first) order.
+    pub fn iter_class_mru(&self, class: ClassId) -> ClassMruIter<'_> {
+        ClassMruIter {
+            state: &self.class_states[class.0 as usize],
+            cursor: self.class_states[class.0 as usize].head,
+        }
+    }
+
+    /// Iterates all resident items (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = ItemMeta> + '_ {
+        self.index.keys().map(|k| self.peek(*k).expect("indexed"))
+    }
+
+    /// The MRU timestamps of a class in MRU order — the paper's
+    /// "timestamp dump" Memcached modification (§V-A1).
+    pub fn dump_class(&self, class: ClassId) -> ClassDump {
+        let items: Vec<ItemMeta> = self.iter_class_mru(class).collect();
+        ClassDump::new(class, items)
+    }
+
+    /// Dumps every non-empty class.
+    pub fn dump_metadata(&self) -> MetadataDump {
+        let dumps = self
+            .classes
+            .ids()
+            .filter(|id| self.len_of_class(*id) > 0)
+            .map(|id| self.dump_class(id))
+            .collect();
+        MetadataDump::new(dumps)
+    }
+
+    /// Median hotness of a class's MRU list (the statistic the Master
+    /// compares across nodes when choosing which node to retire, §III-C).
+    ///
+    /// Returns `None` for an empty class.
+    pub fn median_hotness(&self, class: ClassId) -> Option<Hotness> {
+        let state = &self.class_states[class.0 as usize];
+        if state.len == 0 {
+            return None;
+        }
+        let target = (state.len / 2) as usize;
+        self.iter_class_mru(class).nth(target).map(|i| i.hotness())
+    }
+
+    /// Imports migrated items into a class (the paper's batch-import
+    /// Memcached modification, §V-A1).
+    ///
+    /// `incoming` must be sorted hottest-first. Items that collide with a
+    /// resident key keep whichever copy is hotter. If the class overflows
+    /// its chunk capacity (and no free pages remain), the coldest items of
+    /// the merged population are evicted — by FuseCache's construction these
+    /// are always colder than the migrated ones.
+    ///
+    /// Returns the number of items actually resident from `incoming` after
+    /// the merge.
+    ///
+    /// # Errors
+    ///
+    /// [`ElmemError::InvalidConfig`] if any incoming item does not belong to
+    /// `class` under this store's ladder.
+    pub fn batch_import(
+        &mut self,
+        class: ClassId,
+        incoming: &[ItemMeta],
+        mode: ImportMode,
+    ) -> Result<u64, ElmemError> {
+        for item in incoming {
+            if self.classes.class_for(item.footprint()) != Some(class) {
+                return Err(ElmemError::InvalidConfig(format!(
+                    "item {} (footprint {}) does not belong to {class}",
+                    item.key,
+                    item.footprint()
+                )));
+            }
+        }
+
+        // Resolve key collisions: drop incoming copies that are colder than
+        // a resident copy; remove resident copies that are colder.
+        let mut accepted: Vec<ItemMeta> = Vec::with_capacity(incoming.len());
+        for item in incoming {
+            match self.peek(item.key) {
+                Some(resident) if resident.hotness() >= item.hotness() => continue,
+                Some(_) => {
+                    self.remove_entry(item.key);
+                    accepted.push(*item);
+                }
+                None => accepted.push(*item),
+            }
+        }
+
+        // Canonicalize to strict hotness order (the MRU list may order
+        // same-instant accesses either way; see `ClassDump::new`).
+        let mut resident: Vec<ItemMeta> = self.iter_class_mru(class).collect();
+        resident.sort_by_key(|i| std::cmp::Reverse(i.hotness()));
+        let merged: Vec<ItemMeta> = match mode {
+            ImportMode::Merge => {
+                let mut all = Vec::with_capacity(resident.len() + accepted.len());
+                let (mut i, mut j) = (0usize, 0usize);
+                // Both inputs are hottest-first; standard 2-way merge.
+                let mut sorted_in = accepted.clone();
+                sorted_in.sort_by_key(|i| std::cmp::Reverse(i.hotness()));
+                while i < resident.len() && j < sorted_in.len() {
+                    if resident[i].hotness() >= sorted_in[j].hotness() {
+                        all.push(resident[i]);
+                        i += 1;
+                    } else {
+                        all.push(sorted_in[j]);
+                        j += 1;
+                    }
+                }
+                all.extend_from_slice(&resident[i..]);
+                all.extend_from_slice(&sorted_in[j..]);
+                all
+            }
+            ImportMode::Prepend => {
+                let mut all = accepted.clone();
+                all.extend_from_slice(&resident);
+                all
+            }
+        };
+
+        // Rebuild the class list: clear it, then grow capacity and insert
+        // in order, evicting the overflow (the tail of `merged`).
+        for item in &resident {
+            self.remove_entry(item.key);
+        }
+        let mut kept_incoming = 0u64;
+        let incoming_keys: std::collections::HashSet<KeyId> =
+            accepted.iter().map(|i| i.key).collect();
+        let mut inserted = 0u64;
+        for item in &merged {
+            match self.alloc_slot_no_evict(class) {
+                Some(idx) => {
+                    let state = &mut self.class_states[class.0 as usize];
+                    state.slots[idx as usize].item = Some(*item);
+                    state.push_back(idx);
+                    state.len += 1;
+                    state.bytes_used += item.footprint();
+                    self.index.insert(item.key, (class.0, idx));
+                    inserted += 1;
+                    if incoming_keys.contains(&item.key) {
+                        kept_incoming += 1;
+                        self.stats.imported += 1;
+                    }
+                }
+                None => break, // class cannot grow further; rest is overflow
+            }
+        }
+        // Count the dropped overflow as evictions.
+        self.stats.evictions += merged.len() as u64 - inserted;
+        Ok(kept_incoming)
+    }
+}
+
+/// Iterator over a class's items in MRU order. Created by
+/// [`SlabStore::iter_class_mru`].
+#[derive(Debug)]
+pub struct ClassMruIter<'a> {
+    state: &'a ClassState,
+    cursor: u32,
+}
+
+impl Iterator for ClassMruIter<'_> {
+    type Item = ItemMeta;
+
+    fn next(&mut self) -> Option<ItemMeta> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let slot = &self.state.slots[self.cursor as usize];
+        self.cursor = slot.next;
+        Some(slot.item.expect("linked slot is occupied"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store() -> SlabStore {
+        SlabStore::new(StoreConfig {
+            memory: ByteSize::from_mib(2),
+            classes: SizeClasses::new(128, 2.0, 1024),
+        })
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = small_store();
+        s.set(KeyId(1), 10, t(1)).unwrap();
+        let item = s.get(KeyId(1), t(2)).unwrap();
+        assert_eq!(item.key, KeyId(1));
+        assert_eq!(item.value_size, 10);
+        assert_eq!(item.last_access, t(2));
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().sets, 1);
+    }
+
+    #[test]
+    fn miss_counts() {
+        let mut s = small_store();
+        assert!(s.get(KeyId(404), t(1)).is_none());
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn peek_does_not_touch() {
+        let mut s = small_store();
+        s.set(KeyId(1), 10, t(1)).unwrap();
+        let before = s.peek(KeyId(1)).unwrap();
+        assert_eq!(before.last_access, t(1));
+        let hits = s.stats().hits;
+        let _ = s.peek(KeyId(1));
+        assert_eq!(s.stats().hits, hits);
+    }
+
+    #[test]
+    fn mru_order_follows_access() {
+        let mut s = small_store();
+        for k in 0..5 {
+            s.set(KeyId(k), 10, t(k)).unwrap();
+        }
+        // 4 is hottest. Touch 0 → becomes hottest.
+        s.get(KeyId(0), t(10)).unwrap();
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let order: Vec<u64> = s.iter_class_mru(class).map(|i| i.key.0).collect();
+        assert_eq!(order, vec![0, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn mru_list_is_hotness_sorted_under_normal_ops() {
+        let mut s = small_store();
+        for k in 0..20 {
+            s.set(KeyId(k), 10, t(k)).unwrap();
+        }
+        for k in (0..20).step_by(3) {
+            s.get(KeyId(k), t(100 + k)).unwrap();
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let hot: Vec<Hotness> = s.iter_class_mru(class).map(|i| i.hotness()).collect();
+        for w in hot.windows(2) {
+            assert!(w[0] >= w[1], "MRU list out of order");
+        }
+    }
+
+    #[test]
+    fn update_same_class_updates_in_place() {
+        let mut s = small_store();
+        s.set(KeyId(1), 10, t(1)).unwrap();
+        s.set(KeyId(1), 20, t(2)).unwrap();
+        assert_eq!(s.len(), 1);
+        let item = s.peek(KeyId(1)).unwrap();
+        assert_eq!(item.value_size, 20);
+        assert_eq!(item.last_access, t(2));
+    }
+
+    #[test]
+    fn update_changes_class_when_size_grows() {
+        let mut s = small_store();
+        s.set(KeyId(1), 10, t(1)).unwrap();
+        let small = s.classes().class_for(item_footprint(10)).unwrap();
+        s.set(KeyId(1), 500, t(2)).unwrap();
+        let large = s.classes().class_for(item_footprint(500)).unwrap();
+        assert_ne!(small, large);
+        assert_eq!(s.len_of_class(small), 0);
+        assert_eq!(s.len_of_class(large), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut s = small_store();
+        s.set(KeyId(1), 10, t(1)).unwrap();
+        assert!(s.delete(KeyId(1)));
+        assert!(!s.delete(KeyId(1)));
+        assert!(!s.contains(KeyId(1)));
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.stats().deletes, 1);
+    }
+
+    #[test]
+    fn item_too_large_rejected() {
+        let mut s = small_store();
+        let err = s.set(KeyId(1), 10_000, t(1)).unwrap_err();
+        assert!(matches!(err, ElmemError::ItemTooLarge { .. }));
+    }
+
+    #[test]
+    fn lru_eviction_within_class() {
+        // 1 page store: 1MiB / 128B chunks = 8192 chunks in smallest class.
+        let mut s = SlabStore::new(StoreConfig {
+            memory: ByteSize::from_mib(1),
+            classes: SizeClasses::new(128, 2.0, 1024),
+        });
+        let cap = ByteSize::PAGE.as_u64() / 128;
+        for k in 0..cap + 10 {
+            s.set(KeyId(k), 10, t(k)).unwrap();
+        }
+        assert_eq!(s.len(), cap);
+        assert_eq!(s.stats().evictions, 10);
+        // The 10 oldest were evicted.
+        for k in 0..10 {
+            assert!(!s.contains(KeyId(k)), "key {k} should be evicted");
+        }
+        assert!(s.contains(KeyId(10)));
+    }
+
+    #[test]
+    fn eviction_victim_is_lru_not_insertion_order() {
+        let mut s = SlabStore::new(StoreConfig {
+            memory: ByteSize::from_mib(1),
+            classes: SizeClasses::new(128, 2.0, 1024),
+        });
+        let cap = ByteSize::PAGE.as_u64() / 128;
+        for k in 0..cap {
+            s.set(KeyId(k), 10, t(k)).unwrap();
+        }
+        // Touch key 0 so key 1 becomes LRU.
+        s.get(KeyId(0), t(10_000)).unwrap();
+        s.set(KeyId(999_999), 10, t(10_001)).unwrap();
+        assert!(s.contains(KeyId(0)));
+        assert!(!s.contains(KeyId(1)));
+    }
+
+    #[test]
+    fn pages_assigned_on_demand_across_classes() {
+        let mut s = small_store();
+        assert_eq!(s.pages_used(), 0);
+        s.set(KeyId(1), 10, t(1)).unwrap(); // small class
+        assert_eq!(s.pages_used(), 1);
+        s.set(KeyId(2), 900, t(1)).unwrap(); // large class
+        assert_eq!(s.pages_used(), 2);
+        let weights = s.page_weights();
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_memory_when_class_empty_and_no_pages() {
+        // 1 page total, used by the small class; large class cannot allocate.
+        let mut s = SlabStore::new(StoreConfig {
+            memory: ByteSize::from_mib(1),
+            classes: SizeClasses::new(128, 2.0, 1024),
+        });
+        s.set(KeyId(1), 10, t(1)).unwrap();
+        let err = s.set(KeyId(2), 900, t(2)).unwrap_err();
+        assert_eq!(err, ElmemError::OutOfMemory);
+    }
+
+    #[test]
+    fn median_hotness_is_middle_of_list() {
+        let mut s = small_store();
+        for k in 0..5 {
+            s.set(KeyId(k), 10, t(k + 1)).unwrap();
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        // MRU order: 4,3,2,1,0 → median (index 2) is key 2 at t=3.
+        let med = s.median_hotness(class).unwrap();
+        assert_eq!(med.time(), t(3));
+    }
+
+    #[test]
+    fn median_hotness_empty_class() {
+        let s = small_store();
+        assert_eq!(s.median_hotness(ClassId(0)), None);
+    }
+
+    #[test]
+    fn dump_is_mru_ordered() {
+        let mut s = small_store();
+        for k in 0..10 {
+            s.set(KeyId(k), 10, t(k)).unwrap();
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let dump = s.dump_class(class);
+        assert_eq!(dump.items.len(), 10);
+        for w in dump.items.windows(2) {
+            assert!(w[0].hotness() >= w[1].hotness());
+        }
+    }
+
+    #[test]
+    fn dump_metadata_skips_empty_classes() {
+        let mut s = small_store();
+        s.set(KeyId(1), 10, t(1)).unwrap();
+        let dump = s.dump_metadata();
+        assert_eq!(dump.classes.len(), 1);
+    }
+
+    #[test]
+    fn batch_import_merge_keeps_sorted() {
+        let mut s = small_store();
+        for k in 0..10 {
+            s.set(KeyId(k), 10, t(2 * k)).unwrap(); // even timestamps
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let incoming: Vec<ItemMeta> = (0..5)
+            .map(|i| ItemMeta { key: KeyId(100 + i), value_size: 10, last_access: t(2 * (9 - i) + 1), // odd, interleaving
+                expires: SimTime::MAX })
+            .collect();
+        let kept = s.batch_import(class, &incoming, ImportMode::Merge).unwrap();
+        assert_eq!(kept, 5);
+        let hot: Vec<Hotness> = s.iter_class_mru(class).map(|i| i.hotness()).collect();
+        assert_eq!(hot.len(), 15);
+        for w in hot.windows(2) {
+            assert!(w[0] >= w[1], "merged list out of order");
+        }
+    }
+
+    #[test]
+    fn batch_import_prepend_puts_incoming_first() {
+        let mut s = small_store();
+        for k in 0..3 {
+            s.set(KeyId(k), 10, t(100 + k)).unwrap();
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let incoming = vec![ItemMeta { key: KeyId(50), value_size: 10, last_access: t(1), // colder, but prepend puts it first anyway
+                expires: SimTime::MAX }];
+        s.batch_import(class, &incoming, ImportMode::Prepend)
+            .unwrap();
+        let first = s.iter_class_mru(class).next().unwrap();
+        assert_eq!(first.key, KeyId(50));
+    }
+
+    #[test]
+    fn batch_import_evicts_overflow_coldest() {
+        let mut s = SlabStore::new(StoreConfig {
+            memory: ByteSize::from_mib(1),
+            classes: SizeClasses::new(128, 2.0, 1024),
+        });
+        let cap = ByteSize::PAGE.as_u64() / 128;
+        for k in 0..cap {
+            s.set(KeyId(k), 10, t(k + 1)).unwrap();
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        // Import `cap/2` items hotter than everything resident.
+        let incoming: Vec<ItemMeta> = (0..cap / 2)
+            .map(|i| ItemMeta { key: KeyId(1_000_000 + i), value_size: 10, last_access: t(10_000 + i), expires: SimTime::MAX })
+            .collect();
+        let kept = s.batch_import(class, &incoming, ImportMode::Merge).unwrap();
+        assert_eq!(kept, cap / 2);
+        assert_eq!(s.len(), cap);
+        // The coldest resident half is gone; hottest resident half remains.
+        assert!(!s.contains(KeyId(0)));
+        assert!(s.contains(KeyId(cap - 1)));
+    }
+
+    #[test]
+    fn batch_import_key_collision_keeps_hotter() {
+        let mut s = small_store();
+        s.set(KeyId(1), 10, t(100)).unwrap();
+        s.set(KeyId(2), 10, t(1)).unwrap();
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let incoming = vec![
+            ItemMeta { key: KeyId(1), value_size: 10, last_access: t(50), // colder than resident copy
+                expires: SimTime::MAX },
+            ItemMeta { key: KeyId(2), value_size: 10, last_access: t(200), // hotter than resident copy
+                expires: SimTime::MAX },
+        ];
+        s.batch_import(class, &incoming, ImportMode::Merge).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.peek(KeyId(1)).unwrap().last_access, t(100));
+        assert_eq!(s.peek(KeyId(2)).unwrap().last_access, t(200));
+    }
+
+    #[test]
+    fn batch_import_rejects_wrong_class() {
+        let mut s = small_store();
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let incoming = vec![ItemMeta {
+            key: KeyId(1),
+            value_size: 900, // belongs to a larger class
+            last_access: t(1),
+            expires: SimTime::MAX,
+        }];
+        assert!(s.batch_import(class, &incoming, ImportMode::Merge).is_err());
+    }
+
+    #[test]
+    fn evict_lru_returns_tail() {
+        let mut s = small_store();
+        for k in 0..3 {
+            s.set(KeyId(k), 10, t(k)).unwrap();
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let evicted = s.evict_lru(class).unwrap();
+        assert_eq!(evicted.key, KeyId(0));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn evict_lru_empty_class_is_none() {
+        let mut s = small_store();
+        assert!(s.evict_lru(ClassId(0)).is_none());
+    }
+
+    #[test]
+    fn bytes_used_tracks_footprints() {
+        let mut s = small_store();
+        s.set(KeyId(1), 10, t(1)).unwrap();
+        s.set(KeyId(2), 20, t(1)).unwrap();
+        assert_eq!(
+            s.bytes_used().as_u64(),
+            item_footprint(10) + item_footprint(20)
+        );
+        s.delete(KeyId(1));
+        assert_eq!(s.bytes_used().as_u64(), item_footprint(20));
+    }
+
+    #[test]
+    fn iter_yields_all_items() {
+        let mut s = small_store();
+        for k in 0..7 {
+            s.set(KeyId(k), 10, t(k)).unwrap();
+        }
+        let mut keys: Vec<u64> = s.iter().map(|i| i.key.0).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_memory_store_rejected() {
+        let _ = SlabStore::new(StoreConfig::with_memory(ByteSize::from_kib(4)));
+    }
+}

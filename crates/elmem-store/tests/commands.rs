@@ -1,0 +1,105 @@
+//! Memcached command-surface tests: `add`, `replace`, `cas`, `peek_live`.
+
+use elmem_store::{SizeClasses, SlabStore, StoreConfig};
+use elmem_util::{ByteSize, KeyId, SimTime};
+
+fn store() -> SlabStore {
+    SlabStore::new(StoreConfig {
+        memory: ByteSize::from_mib(2),
+        classes: SizeClasses::new(128, 2.0, 1024),
+    })
+}
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+#[test]
+fn add_stores_only_when_absent() {
+    let mut s = store();
+    assert!(s.add(KeyId(1), 10, t(1)).unwrap());
+    assert!(!s.add(KeyId(1), 99, t(2)).unwrap(), "second add must fail");
+    assert_eq!(s.peek(KeyId(1)).unwrap().value_size, 10);
+}
+
+#[test]
+fn add_succeeds_over_expired_item() {
+    let mut s = store();
+    s.set_with_ttl(KeyId(1), 10, t(0), SimTime::from_secs(5))
+        .unwrap();
+    assert!(s.add(KeyId(1), 20, t(10)).unwrap(), "expired = absent");
+    assert_eq!(s.peek(KeyId(1)).unwrap().value_size, 20);
+}
+
+#[test]
+fn replace_stores_only_when_present() {
+    let mut s = store();
+    assert!(!s.replace(KeyId(1), 10, t(1)).unwrap(), "nothing to replace");
+    s.set(KeyId(1), 10, t(1)).unwrap();
+    assert!(s.replace(KeyId(1), 20, t(2)).unwrap());
+    assert_eq!(s.peek(KeyId(1)).unwrap().value_size, 20);
+}
+
+#[test]
+fn replace_fails_on_expired_item() {
+    let mut s = store();
+    s.set_with_ttl(KeyId(1), 10, t(0), SimTime::from_secs(5))
+        .unwrap();
+    assert!(!s.replace(KeyId(1), 20, t(10)).unwrap());
+}
+
+#[test]
+fn cas_succeeds_only_with_current_token() {
+    let mut s = store();
+    s.set(KeyId(1), 10, t(1)).unwrap();
+    let token = s.peek(KeyId(1)).unwrap().last_access;
+    // Stale token: another writer got in between.
+    s.set(KeyId(1), 15, t(2)).unwrap();
+    assert!(!s.cas(KeyId(1), 99, t(3), token).unwrap(), "stale CAS");
+    // Fresh token works.
+    let token = s.peek(KeyId(1)).unwrap().last_access;
+    assert!(s.cas(KeyId(1), 20, t(4), token).unwrap());
+    assert_eq!(s.peek(KeyId(1)).unwrap().value_size, 20);
+}
+
+#[test]
+fn cas_on_missing_key_fails() {
+    let mut s = store();
+    assert!(!s.cas(KeyId(404), 10, t(1), t(0)).unwrap());
+}
+
+#[test]
+fn cas_token_invalidated_by_get() {
+    // A get refreshes last_access, so it also invalidates outstanding CAS
+    // tokens (our token *is* the MRU timestamp).
+    let mut s = store();
+    s.set(KeyId(1), 10, t(1)).unwrap();
+    let token = s.peek(KeyId(1)).unwrap().last_access;
+    s.get(KeyId(1), t(2)).unwrap();
+    assert!(!s.cas(KeyId(1), 20, t(3), token).unwrap());
+}
+
+#[test]
+fn peek_live_respects_expiry_without_reclaiming() {
+    let mut s = store();
+    s.set_with_ttl(KeyId(1), 10, t(0), SimTime::from_secs(5))
+        .unwrap();
+    assert!(s.peek_live(KeyId(1), t(4)).is_some());
+    assert!(s.peek_live(KeyId(1), t(6)).is_none());
+    // The raw slot still exists until a get/crawl reclaims it.
+    assert!(s.peek(KeyId(1)).is_some());
+    assert_eq!(s.stats().expired, 0);
+}
+
+#[test]
+fn command_mix_keeps_counters_consistent() {
+    let mut s = store();
+    for k in 0..50u64 {
+        assert!(s.add(KeyId(k), 10, t(k)).unwrap());
+    }
+    for k in 0..25u64 {
+        assert!(s.replace(KeyId(k), 20, t(100 + k)).unwrap());
+    }
+    assert_eq!(s.len(), 50);
+    assert_eq!(s.stats().sets, 75);
+}

@@ -1,0 +1,151 @@
+//! TTL / expiry semantics: lazy reclamation on access, the `touch`
+//! command, `flush_all`, and the bounded LRU crawler.
+
+use elmem_store::{ItemMeta, SizeClasses, SlabStore, StoreConfig};
+use elmem_util::{ByteSize, KeyId, SimTime};
+
+fn store() -> SlabStore {
+    SlabStore::new(StoreConfig {
+        memory: ByteSize::from_mib(2),
+        classes: SizeClasses::new(128, 2.0, 1024),
+    })
+}
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+#[test]
+fn expired_item_misses_and_is_reclaimed() {
+    let mut s = store();
+    s.set_with_ttl(KeyId(1), 10, t(0), SimTime::from_secs(10))
+        .unwrap();
+    assert!(s.get(KeyId(1), t(5)).is_some());
+    assert!(s.get(KeyId(1), t(10)).is_none(), "dead exactly at exptime");
+    assert!(!s.contains(KeyId(1)), "lazy reclamation removed the item");
+    assert_eq!(s.stats().expired, 1);
+    assert_eq!(s.stats().misses, 1);
+}
+
+#[test]
+fn get_refreshes_recency_but_not_ttl() {
+    let mut s = store();
+    s.set_with_ttl(KeyId(1), 10, t(0), SimTime::from_secs(10))
+        .unwrap();
+    s.get(KeyId(1), t(9)).unwrap();
+    assert!(s.get(KeyId(1), t(11)).is_none(), "get must not extend TTL");
+}
+
+#[test]
+fn touch_extends_ttl_and_moves_to_front() {
+    let mut s = store();
+    s.set(KeyId(0), 10, t(0)).unwrap();
+    s.set_with_ttl(KeyId(1), 10, t(0), SimTime::from_secs(10))
+        .unwrap();
+    let touched = s.touch(KeyId(1), t(5), SimTime::from_secs(100)).unwrap();
+    assert_eq!(touched.expires, t(105));
+    assert!(s.get(KeyId(1), t(50)).is_some(), "TTL extended");
+    // Touch counts as an access: key 1 is now hotter than key 0.
+    let class = s
+        .classes()
+        .class_for(ItemMeta::new(KeyId(0), 10, t(0)).footprint())
+        .unwrap();
+    let first = s.iter_class_mru(class).next().unwrap();
+    assert_eq!(first.key, KeyId(1));
+}
+
+#[test]
+fn touch_on_expired_item_is_none() {
+    let mut s = store();
+    s.set_with_ttl(KeyId(1), 10, t(0), SimTime::from_secs(5))
+        .unwrap();
+    assert!(s.touch(KeyId(1), t(6), SimTime::from_secs(100)).is_none());
+    assert!(!s.contains(KeyId(1)));
+}
+
+#[test]
+fn touch_missing_key_is_none() {
+    let mut s = store();
+    assert!(s.touch(KeyId(404), t(1), SimTime::from_secs(1)).is_none());
+}
+
+#[test]
+fn set_overwrites_ttl() {
+    let mut s = store();
+    s.set_with_ttl(KeyId(1), 10, t(0), SimTime::from_secs(5))
+        .unwrap();
+    s.set(KeyId(1), 10, t(1)).unwrap(); // plain set: never expires
+    assert!(s.get(KeyId(1), t(1000)).is_some());
+}
+
+#[test]
+fn flush_all_clears_but_keeps_pages() {
+    let mut s = store();
+    for k in 0..100 {
+        s.set(KeyId(k), 10, t(k)).unwrap();
+    }
+    let pages = s.pages_used();
+    assert!(pages > 0);
+    s.flush_all();
+    assert!(s.is_empty());
+    assert_eq!(s.pages_used(), pages, "pages are never returned");
+    assert_eq!(s.stats().deletes, 100);
+    // The store remains fully usable.
+    s.set(KeyId(7), 10, t(1000)).unwrap();
+    assert!(s.contains(KeyId(7)));
+}
+
+#[test]
+fn crawler_reclaims_expired_within_budget() {
+    let mut s = store();
+    for k in 0..50 {
+        s.set_with_ttl(KeyId(k), 10, t(0), SimTime::from_secs(10))
+            .unwrap();
+    }
+    for k in 50..100 {
+        s.set(KeyId(k), 10, t(0)).unwrap();
+    }
+    // All TTL'd items are dead at t=20, but the budget limits one pass.
+    let reclaimed_first = s.crawl_expired(t(20), 30);
+    assert!(reclaimed_first <= 30);
+    let reclaimed_second = s.crawl_expired(t(20), 1000);
+    assert_eq!(reclaimed_first + reclaimed_second, 50);
+    assert_eq!(s.len(), 50);
+    assert_eq!(s.stats().expired, 50);
+    // Non-TTL items survived.
+    for k in 50..100 {
+        assert!(s.contains(KeyId(k)), "key {k} wrongly reclaimed");
+    }
+}
+
+#[test]
+fn crawler_noop_when_nothing_expired() {
+    let mut s = store();
+    for k in 0..20 {
+        s.set(KeyId(k), 10, t(k)).unwrap();
+    }
+    assert_eq!(s.crawl_expired(t(100), 1000), 0);
+    assert_eq!(s.len(), 20);
+}
+
+#[test]
+fn expired_items_do_not_resurrect_via_import_collision() {
+    let mut s = store();
+    s.set_with_ttl(KeyId(1), 10, t(0), SimTime::from_secs(5))
+        .unwrap();
+    // After expiry, a new set must fully replace the old entry.
+    assert!(s.get(KeyId(1), t(10)).is_none());
+    s.set(KeyId(1), 20, t(11)).unwrap();
+    let item = s.peek(KeyId(1)).unwrap();
+    assert_eq!(item.value_size, 20);
+    assert_eq!(item.expires, SimTime::MAX);
+}
+
+#[test]
+fn item_meta_expiry_helpers() {
+    let m = ItemMeta::with_ttl(KeyId(1), 10, t(100), SimTime::from_secs(50));
+    assert!(!m.is_expired(t(149)));
+    assert!(m.is_expired(t(150)));
+    let never = ItemMeta::new(KeyId(1), 10, t(100));
+    assert!(!never.is_expired(SimTime::MAX - SimTime(1)));
+}

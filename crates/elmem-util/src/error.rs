@@ -1,0 +1,85 @@
+//! Workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the ElMem crates' public APIs.
+///
+/// # Example
+///
+/// ```
+/// use elmem_util::ElmemError;
+/// let e = ElmemError::UnknownNode(7);
+/// assert_eq!(e.to_string(), "unknown node id 7");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ElmemError {
+    /// Referenced a node id that is not a member of the tier.
+    UnknownNode(u32),
+    /// An item is larger than the largest slab chunk and cannot be stored.
+    ItemTooLarge {
+        /// Total item footprint in bytes.
+        item_bytes: u64,
+        /// Largest chunk size supported by the store.
+        max_chunk_bytes: u64,
+    },
+    /// The store has no memory left and nothing evictable in the needed class.
+    OutOfMemory,
+    /// A scaling request was invalid (e.g. scaling in to zero nodes).
+    InvalidScaling(String),
+    /// A migration plan referenced state that no longer exists.
+    InconsistentMigration(String),
+    /// Configuration value out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ElmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElmemError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            ElmemError::ItemTooLarge {
+                item_bytes,
+                max_chunk_bytes,
+            } => write!(
+                f,
+                "item of {item_bytes} bytes exceeds largest chunk size {max_chunk_bytes}"
+            ),
+            ElmemError::OutOfMemory => write!(f, "store out of memory"),
+            ElmemError::InvalidScaling(msg) => write!(f, "invalid scaling request: {msg}"),
+            ElmemError::InconsistentMigration(msg) => {
+                write!(f, "inconsistent migration state: {msg}")
+            }
+            ElmemError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ElmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(ElmemError::OutOfMemory.to_string(), "store out of memory");
+        assert_eq!(
+            ElmemError::ItemTooLarge {
+                item_bytes: 100,
+                max_chunk_bytes: 50
+            }
+            .to_string(),
+            "item of 100 bytes exceeds largest chunk size 50"
+        );
+        assert!(ElmemError::InvalidScaling("x".into())
+            .to_string()
+            .contains("x"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ElmemError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! Stable, seedable 64-bit hashing.
+//!
+//! Consistent hashing and key→node placement must be *stable across runs and
+//! platforms* (std's `DefaultHasher` is explicitly not), so we use our own
+//! small implementations: a 64-bit FNV-1a for short byte strings and a
+//! SplitMix-style integer finalizer for numeric ids.
+
+/// 64-bit FNV-1a hash of a byte string.
+///
+/// # Example
+///
+/// ```
+/// use elmem_util::hashutil::fnv1a64;
+/// assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+/// assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+/// ```
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Mixes a 64-bit integer into a well-distributed 64-bit hash
+/// (SplitMix64 finalizer).
+///
+/// # Example
+///
+/// ```
+/// use elmem_util::hashutil::mix64;
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(7), mix64(7));
+/// ```
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Combines two hashes (e.g. a key hash and a seed) into one.
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    mix64(a ^ b.rotate_left(32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+    }
+
+    #[test]
+    fn fnv_distinguishes_prefixes() {
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"aa"));
+    }
+
+    #[test]
+    fn mix64_is_injective_on_small_range() {
+        let set: HashSet<u64> = (0..10_000u64).map(mix64).collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn mix64_distributes_low_bits() {
+        // Count low-bit balance over sequential inputs.
+        let ones = (0..10_000u64).filter(|&i| mix64(i) & 1 == 1).count();
+        assert!((4_500..5_500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn combine_depends_on_both_inputs() {
+        assert_ne!(combine(1, 2), combine(1, 3));
+        assert_ne!(combine(1, 2), combine(2, 2));
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+}

@@ -1,0 +1,190 @@
+//! The keyspace: deterministic per-key value sizes.
+//!
+//! In the paper's workload, each of the ~19 M keys has a fixed value whose
+//! size is drawn from the Generalized Pareto distribution (§V-A2). We derive
+//! each key's size deterministically from its id, so every component (web
+//! tier, database model, migration agents) agrees on sizes without shared
+//! state.
+
+use elmem_util::hashutil::mix64;
+use elmem_util::{ByteSize, KeyId};
+use serde::{Deserialize, Serialize};
+
+use crate::gpareto::GeneralizedPareto;
+
+/// A fixed population of keys with deterministic value sizes.
+///
+/// # Example
+///
+/// ```
+/// use elmem_workload::Keyspace;
+/// use elmem_util::KeyId;
+///
+/// let ks = Keyspace::new(10_000, 42);
+/// let s1 = ks.value_size(KeyId(7));
+/// assert_eq!(s1, ks.value_size(KeyId(7))); // stable
+/// assert!(s1 >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Keyspace {
+    /// Number of keys (`KeyId(0)..KeyId(n_keys)`).
+    n_keys: u64,
+    /// Seed decorrelating sizes from other uses of the key id.
+    seed: u64,
+    /// Value-size distribution.
+    dist: GeneralizedPareto,
+    /// Cap on a single value, bytes (paper: values range 1 B – ~1 MB slabs;
+    /// ETC's reported sizes run 1 B to ~10 kB).
+    max_value: u32,
+}
+
+impl Keyspace {
+    /// Default cap on value sizes, matching the paper's ETC range
+    /// (1 B – 10 kB dominates the mass).
+    pub const DEFAULT_MAX_VALUE: u32 = 100_000;
+
+    /// Creates a keyspace of `n_keys` with Facebook-ETC sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_keys == 0`.
+    pub fn new(n_keys: u64, seed: u64) -> Self {
+        Self::with_distribution(
+            n_keys,
+            seed,
+            GeneralizedPareto::facebook_etc(),
+            Self::DEFAULT_MAX_VALUE,
+        )
+    }
+
+    /// Creates a keyspace with an explicit size distribution and cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_keys == 0` or `max_value == 0`.
+    pub fn with_distribution(
+        n_keys: u64,
+        seed: u64,
+        dist: GeneralizedPareto,
+        max_value: u32,
+    ) -> Self {
+        assert!(n_keys > 0, "empty keyspace");
+        assert!(max_value > 0, "zero max value");
+        Keyspace {
+            n_keys,
+            seed,
+            dist,
+            max_value,
+        }
+    }
+
+    /// Number of keys.
+    pub fn n_keys(&self) -> u64 {
+        self.n_keys
+    }
+
+    /// Whether `key` belongs to this keyspace.
+    pub fn contains(&self, key: KeyId) -> bool {
+        key.0 < self.n_keys
+    }
+
+    /// The (stable) value size of a key, in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the key is out of range.
+    pub fn value_size(&self, key: KeyId) -> u32 {
+        debug_assert!(self.contains(key), "key {key} out of range");
+        // 53-bit uniform in [0, 1) from the key hash.
+        let u = (mix64(key.0 ^ self.seed) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.dist.sample_bytes(u, self.max_value)
+    }
+
+    /// Total bytes of all values (the dataset size on the database).
+    ///
+    /// Computed by sampling when the keyspace is large (>1M keys): the exact
+    /// sum over 19M keys would be slow to call repeatedly.
+    pub fn estimated_total_bytes(&self) -> ByteSize {
+        let sample = 100_000.min(self.n_keys);
+        let stride = (self.n_keys / sample).max(1);
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        let mut k = 0u64;
+        while k < self.n_keys {
+            sum += u64::from(self.value_size(KeyId(k)));
+            count += 1;
+            k += stride;
+        }
+        ByteSize(sum * self.n_keys / count.max(1))
+    }
+
+    /// Iterates all keys.
+    pub fn keys(&self) -> impl Iterator<Item = KeyId> {
+        (0..self.n_keys).map(KeyId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_stable_and_positive() {
+        let ks = Keyspace::new(1000, 1);
+        for k in ks.keys() {
+            let s = ks.value_size(k);
+            assert!(s >= 1);
+            assert_eq!(s, ks.value_size(k));
+        }
+    }
+
+    #[test]
+    fn sizes_vary_across_keys() {
+        let ks = Keyspace::new(1000, 1);
+        let distinct: std::collections::HashSet<u32> =
+            ks.keys().map(|k| ks.value_size(k)).collect();
+        assert!(distinct.len() > 100, "only {} distinct sizes", distinct.len());
+    }
+
+    #[test]
+    fn mean_size_matches_distribution() {
+        let ks = Keyspace::new(200_000, 2);
+        let sum: u64 = ks.keys().map(|k| u64::from(ks.value_size(k))).sum();
+        let mean = sum as f64 / ks.n_keys() as f64;
+        // GP(σ=214.476, κ=0.348238) mean ≈ 329; clamping trims the tail a bit.
+        assert!((250.0..400.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_assignments() {
+        let a = Keyspace::new(1000, 1);
+        let b = Keyspace::new(1000, 2);
+        let diffs = a
+            .keys()
+            .filter(|&k| a.value_size(k) != b.value_size(k))
+            .count();
+        assert!(diffs > 500);
+    }
+
+    #[test]
+    fn estimated_total_bytes_close_to_exact_sum() {
+        let ks = Keyspace::new(50_000, 3);
+        let exact: u64 = ks.keys().map(|k| u64::from(ks.value_size(k))).sum();
+        let est = ks.estimated_total_bytes().as_u64();
+        let rel = (est as f64 - exact as f64).abs() / exact as f64;
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let ks = Keyspace::new(10, 0);
+        assert!(ks.contains(KeyId(9)));
+        assert!(!ks.contains(KeyId(10)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        let _ = Keyspace::new(0, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # ElMem — an elastic Memcached system
+//!
+//! A faithful reproduction of *"ElMem: Towards an Elastic Memcached
+//! System"* (Hafeez, Wajahat, Gandhi — ICDCS 2018) as a Rust workspace.
+//! This facade re-exports the full public API; see the individual crates
+//! for the deep documentation:
+//!
+//! * [`store`] — the Memcached substrate (slabs, MRU lists, LRU eviction,
+//!   timestamp dump, batch import);
+//! * [`hash`] — consistent hashing (ketama-style ring, membership);
+//! * [`stackdist`] — stack distances and hit-rate curves (exact + MIMIR);
+//! * [`workload`] — Facebook/Microsoft/SAP/NLANR trace shapes, Zipf
+//!   popularity, Generalized Pareto value sizes, request generation;
+//! * [`sim`] — the discrete-event substrate (event queue, links, queues);
+//! * [`cluster`] — the multi-tier serving stack (web tier, cache tier,
+//!   database bottleneck);
+//! * [`core`] — ElMem itself: FuseCache, node scoring, the AutoScaler,
+//!   3-phase migration, and the baseline/Naive/CacheScale comparators;
+//! * [`util`] — shared newtypes, deterministic RNG, statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use elmem::core::{run_experiment, ExperimentConfig, MigrationPolicy, ScaleAction};
+//! use elmem::core::migration::MigrationCosts;
+//! use elmem::cluster::ClusterConfig;
+//! use elmem::workload::{DemandTrace, Keyspace, WorkloadConfig};
+//! use elmem::util::SimTime;
+//!
+//! let config = ExperimentConfig {
+//!     cluster: ClusterConfig::small_test(),
+//!     workload: WorkloadConfig {
+//!         keyspace: Keyspace::new(10_000, 1),
+//!         zipf_exponent: 1.0,
+//!         items_per_request: 3,
+//!         peak_rate: 100.0,
+//!         trace: DemandTrace::new(vec![1.0; 4], SimTime::from_secs(10)),
+//!     },
+//!     policy: MigrationPolicy::elmem(),
+//!     autoscaler: None,
+//!     scheduled: vec![(SimTime::from_secs(15), ScaleAction::In { count: 1 })],
+//!     prefill_top_ranks: 5_000,
+//!     costs: MigrationCosts::default(),
+//!     seed: 42,
+//! };
+//! let result = run_experiment(config);
+//! assert_eq!(result.final_members, 3);
+//! ```
+
+pub use elmem_cluster as cluster;
+pub use elmem_core as core;
+pub use elmem_hash as hash;
+pub use elmem_sim as sim;
+pub use elmem_stackdist as stackdist;
+pub use elmem_store as store;
+pub use elmem_util as util;
+pub use elmem_workload as workload;

@@ -1,0 +1,137 @@
+//! Cross-crate integration: the four policies ranked end-to-end, mirroring
+//! the orderings of §V-B1 and §V-B4 (ElMem ≺ CacheScale/Naive ≺ baseline
+//! in post-scaling degradation).
+
+use elmem::cluster::ClusterConfig;
+use elmem::core::migration::MigrationCosts;
+use elmem::core::{run_experiment, ExperimentConfig, MigrationPolicy, ScaleAction};
+use elmem::util::stats::TimelinePoint;
+use elmem::util::SimTime;
+use elmem::workload::{DemandTrace, Keyspace, WorkloadConfig};
+
+fn config(policy: MigrationPolicy, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        cluster: ClusterConfig::small_test(),
+        workload: WorkloadConfig {
+            keyspace: Keyspace::new(30_000, 2),
+            zipf_exponent: 1.0,
+            items_per_request: 3,
+            peak_rate: 250.0,
+            trace: DemandTrace::new(vec![1.0; 13], SimTime::from_secs(10)),
+        },
+        policy,
+        autoscaler: None,
+        scheduled: vec![(SimTime::from_secs(40), ScaleAction::In { count: 1 })],
+        prefill_top_ranks: 15_000,
+        costs: MigrationCosts::default(),
+        seed,
+    }
+}
+
+/// Mean post-commit miss rate over seconds with traffic.
+fn post_miss_rate(timeline: &[TimelinePoint], commit_s: u64) -> f64 {
+    let pts: Vec<&TimelinePoint> = timeline
+        .iter()
+        .filter(|p| p.second >= commit_s && p.requests > 0)
+        .collect();
+    assert!(!pts.is_empty());
+    1.0 - pts.iter().map(|p| p.hit_rate).sum::<f64>() / pts.len() as f64
+}
+
+/// Mean post-commit p95 RT.
+fn post_p95(timeline: &[TimelinePoint], commit_s: u64) -> f64 {
+    let pts: Vec<&TimelinePoint> = timeline
+        .iter()
+        .filter(|p| p.second >= commit_s && p.requests > 0)
+        .collect();
+    pts.iter().map(|p| p.p95_ms).sum::<f64>() / pts.len().max(1) as f64
+}
+
+#[test]
+fn elmem_beats_baseline_on_miss_rate_and_tail() {
+    let base = run_experiment(config(MigrationPolicy::Baseline, 21));
+    let elmem = run_experiment(config(MigrationPolicy::elmem(), 21));
+    let cb = base.events[0].committed_at.as_secs();
+    let ce = elmem.events[0].committed_at.as_secs();
+    assert!(
+        post_miss_rate(&elmem.timeline, ce) < post_miss_rate(&base.timeline, cb),
+        "miss rate ordering violated"
+    );
+    assert!(
+        post_p95(&elmem.timeline, ce) <= post_p95(&base.timeline, cb),
+        "p95 ordering violated"
+    );
+}
+
+#[test]
+fn elmem_beats_naive() {
+    let naive = run_experiment(config(MigrationPolicy::Naive, 22));
+    let elmem = run_experiment(config(MigrationPolicy::elmem(), 22));
+    let cn = naive.events[0].committed_at.as_secs();
+    let ce = elmem.events[0].committed_at.as_secs();
+    assert!(
+        post_miss_rate(&elmem.timeline, ce) <= post_miss_rate(&naive.timeline, cn),
+        "elmem {} vs naive {}",
+        post_miss_rate(&elmem.timeline, ce),
+        post_miss_rate(&naive.timeline, cn)
+    );
+}
+
+/// Mean hit rate over a window of seconds.
+fn hit_in_window(timeline: &[TimelinePoint], from_s: u64, to_s: u64) -> f64 {
+    let pts: Vec<&TimelinePoint> = timeline
+        .iter()
+        .filter(|p| p.second >= from_s && p.second < to_s && p.requests > 0)
+        .collect();
+    assert!(!pts.is_empty());
+    pts.iter().map(|p| p.hit_rate).sum::<f64>() / pts.len() as f64
+}
+
+#[test]
+fn cachescale_beats_baseline_but_not_elmem() {
+    // Short discard window so the secondary cache is dropped well inside
+    // the run (the paper discards after ~2 min; our run is ~2 min total, so
+    // the window scales down with everything else).
+    let window_s = 20u64;
+    let cachescale = MigrationPolicy::CacheScale {
+        window: SimTime::from_secs(window_s),
+    };
+    let base = run_experiment(config(MigrationPolicy::Baseline, 23));
+    let cs = run_experiment(config(cachescale, 23));
+    let elmem = run_experiment(config(MigrationPolicy::elmem(), 23));
+    let decided = base.events[0].decided_at.as_secs();
+
+    // While the secondary is alive, CacheScale avoids the baseline's
+    // transient (its retries hit the retiring node).
+    let transient_base = hit_in_window(&base.timeline, decided, decided + window_s);
+    let transient_cs = hit_in_window(&cs.timeline, decided, decided + window_s);
+    assert!(
+        transient_cs > transient_base,
+        "cachescale transient {transient_cs} should beat baseline {transient_base}"
+    );
+
+    // After the discard, items CacheScale's request-driven promotion never
+    // touched are lost; ElMem migrated them, so it hits more (§V-B4: the
+    // promotion "is dictated by the request rate and thus may be limited").
+    let discard = decided + window_s;
+    let post_cs = hit_in_window(&cs.timeline, discard, discard + 25);
+    let post_elmem = hit_in_window(&elmem.timeline, discard, discard + 25);
+    assert!(
+        post_elmem > post_cs,
+        "post-discard: elmem {post_elmem} should beat cachescale {post_cs}"
+    );
+}
+
+#[test]
+fn all_policies_converge_to_target_membership() {
+    for (policy, seed) in [
+        (MigrationPolicy::Baseline, 31),
+        (MigrationPolicy::elmem(), 32),
+        (MigrationPolicy::Naive, 33),
+        (MigrationPolicy::cachescale(), 34),
+    ] {
+        let result = run_experiment(config(policy, seed));
+        assert_eq!(result.final_members, 3, "policy {policy}");
+        assert_eq!(result.events.len(), 1, "policy {policy}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Whole-system property test: an arbitrary sequence of ElMem scalings and
+//! traffic preserves the system's behavioral invariants.
+//!
+//! Note which invariant is *not* claimed: "every cached copy lives on its
+//! hash owner". Scale-out intentionally leaves stale copies on the source
+//! nodes (§III-D4) — after the membership flip those keys hash to the new
+//! node and the stale copies age out of the sources' LRU naturally. The
+//! invariants below are the ones the design actually guarantees.
+
+use elmem::cluster::{Cluster, ClusterConfig};
+use elmem::core::migration::MigrationCosts;
+use elmem::core::{master::Master, MigrationPolicy};
+use elmem::util::{DetRng, KeyId, SimTime};
+use elmem::workload::{GeneralizedPareto, Keyspace};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    In(u32),
+    Out(u32),
+    Traffic(u64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u32..3).prop_map(Step::In),
+        (1u32..3).prop_map(Step::Out),
+        (1u64..200).prop_map(Step::Traffic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn scaling_sequences_preserve_invariants(
+        steps in prop::collection::vec(step_strategy(), 1..8),
+        seed in 0u64..1000,
+    ) {
+        let mut cluster = Cluster::new(
+            ClusterConfig::small_test(),
+            Keyspace::with_distribution(20_000, seed, GeneralizedPareto::facebook_etc(), 4_000),
+            DetRng::seed(seed),
+        );
+        let mut master = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), seed);
+        let mut rng = DetRng::seed(seed).split("traffic");
+        let mut now = SimTime::from_secs(1);
+        let mut expected_members = cluster.tier.membership().len();
+
+        // Warm a little.
+        for k in 0..2000u64 {
+            let _ = cluster.lookup_and_fill(KeyId(k), now);
+            now += SimTime::from_millis(1);
+        }
+
+        for step in steps {
+            now += SimTime::from_secs(10);
+            match step {
+                Step::In(count) => {
+                    let members = cluster.tier.membership().len() as u32;
+                    let count = count.min(members.saturating_sub(1));
+                    if count == 0 { continue; }
+                    if let Ok(orch) = master.scale_in(&mut cluster, count, now) {
+                        for d in &orch.deferred {
+                            Master::apply(&mut cluster, &d.kind);
+                        }
+                        now = now.max(orch.committed_at);
+                        expected_members -= orch.nodes.len();
+
+                        // INVARIANT: ElMem scale-in leaves nothing behind —
+                        // every retired node is empty and off.
+                        for &id in &orch.nodes {
+                            let node = cluster.tier.node(id).unwrap();
+                            prop_assert!(!node.is_online());
+                            prop_assert_eq!(node.store.len(), 0);
+                        }
+                    }
+                }
+                Step::Out(count) => {
+                    if let Ok(orch) = master.scale_out(&mut cluster, count, now) {
+                        for d in &orch.deferred {
+                            Master::apply(&mut cluster, &d.kind);
+                        }
+                        now = now.max(orch.committed_at);
+                        expected_members += orch.nodes.len();
+
+                        // INVARIANT: a migrated-then-committed new node
+                        // only holds keys it owns under the new ring.
+                        for &id in &orch.nodes {
+                            let node = cluster.tier.node(id).unwrap();
+                            for item in node.store.iter() {
+                                prop_assert_eq!(
+                                    cluster.tier.node_for_key(item.key),
+                                    Some(id)
+                                );
+                            }
+                        }
+                    }
+                }
+                Step::Traffic(n) => {
+                    for _ in 0..n {
+                        let key = KeyId(rng.next_below(20_000));
+                        let _ = cluster.lookup_and_fill(key, now);
+                        now += SimTime::from_millis(1);
+
+                        // INVARIANT: a key just looked up hits immediately
+                        // after (it was present or has just been filled on
+                        // its owner).
+                        let (_, hit) = cluster.lookup_and_fill(key, now);
+                        prop_assert!(hit, "repeat lookup of {key} missed");
+                        now += SimTime::from_millis(1);
+                    }
+                }
+            }
+
+            // INVARIANT: membership accounting matches the executed actions.
+            prop_assert_eq!(cluster.tier.membership().len(), expected_members);
+            prop_assert!(!cluster.tier.membership().is_empty());
+
+            // INVARIANT: powered-off nodes hold nothing.
+            for id in cluster.tier.iter_nodes().map(|n| n.id()).collect::<Vec<_>>() {
+                let node = cluster.tier.node(id).unwrap();
+                if !node.is_online() {
+                    prop_assert_eq!(node.store.len(), 0);
+                }
+            }
+
+            // INVARIANT: every member node is online.
+            for &id in cluster.tier.membership().members() {
+                prop_assert!(cluster.tier.node(id).unwrap().is_online());
+            }
+        }
+    }
+}
