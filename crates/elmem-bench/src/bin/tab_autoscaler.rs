@@ -10,7 +10,7 @@
 
 use elmem_bench::exp::{laptop_cluster, laptop_workload, PREFILL_RANKS};
 use elmem_core::migration::MigrationCosts;
-use elmem_core::{run_experiment, AutoScaler, AutoScalerConfig, ExperimentConfig, MigrationPolicy};
+use elmem_core::{run_experiment, AutoScaler, AutoScalerConfig, ExperimentConfig, FaultPlan, MigrationPolicy};
 use elmem_store::item::item_footprint;
 use elmem_util::{ByteSize, DetRng, SimTime};
 use elmem_workload::{DemandTrace, TraceKind, ZipfPopularity};
@@ -82,6 +82,7 @@ fn main() {
         scheduled: vec![],
         prefill_top_ranks: PREFILL_RANKS,
         costs: MigrationCosts::default(),
+        faults: FaultPlan::new(),
         seed: 5,
     });
 

@@ -4,7 +4,7 @@
 
 use elmem_cluster::ClusterConfig;
 use elmem_core::migration::MigrationCosts;
-use elmem_core::{ExperimentConfig, ExperimentResult, MigrationPolicy, ScaleAction};
+use elmem_core::{ExperimentConfig, ExperimentResult, FaultPlan, MigrationPolicy, ScaleAction};
 use elmem_util::stats::{degradation_summary, DegradationSummary, TimelinePoint};
 use elmem_store::SizeClasses;
 use elmem_util::{ByteSize, SimTime};
@@ -77,6 +77,7 @@ pub fn laptop_experiment(
         scheduled,
         prefill_top_ranks: PREFILL_RANKS,
         costs: MigrationCosts::default(),
+        faults: FaultPlan::new(),
         seed,
     }
 }

@@ -41,5 +41,5 @@ pub mod tier;
 pub use config::ClusterConfig;
 pub use db::DbModel;
 pub use frontend::{Cluster, RequestOutcome};
-pub use node::CacheNode;
+pub use node::{CacheNode, NodeHealth};
 pub use tier::CacheTier;

@@ -4,6 +4,21 @@ use elmem_sim::Link;
 use elmem_store::{SlabStore, StoreConfig};
 use elmem_util::{NodeId, SimTime};
 
+/// Failure state of a node, as the control plane sees it.
+///
+/// Distinct from [`CacheNode::is_online`]: a node the Master powered off
+/// deliberately is offline but `Up` (it shut down cleanly and could be
+/// re-provisioned); a `Crashed` node died under it — its DRAM is gone, it
+/// cannot serve, and control-plane directives to it (power-off, discard)
+/// are no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// The node responds to the control plane (powered on or off).
+    Up,
+    /// The node failed; it is unreachable and its contents are lost.
+    Crashed,
+}
+
 /// A cache node in the Memcached tier.
 ///
 /// Holds the storage engine and the NIC [`Link`] that the node's ElMem
@@ -21,6 +36,7 @@ pub struct CacheNode {
     pub link: Link,
     store_config: StoreConfig,
     online: bool,
+    health: NodeHealth,
 }
 
 impl CacheNode {
@@ -37,6 +53,7 @@ impl CacheNode {
             link: Link::new(nic_bandwidth, nic_latency),
             store_config,
             online: true,
+            health: NodeHealth::Up,
         }
     }
 
@@ -50,10 +67,34 @@ impl CacheNode {
         self.online
     }
 
+    /// The node's failure state.
+    pub fn health(&self) -> NodeHealth {
+        self.health
+    }
+
+    /// Whether the node has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.health == NodeHealth::Crashed
+    }
+
     /// Powers the node off (scale-in directive from the Master). The store
     /// contents are dropped — a turned-off cache node's DRAM is gone.
+    ///
+    /// A **no-op for a crashed node**: the Master's directive cannot reach
+    /// it, and its contents are already lost.
     pub fn power_off(&mut self) {
+        if self.is_crashed() {
+            return;
+        }
         self.online = false;
+        self.store = SlabStore::new(self.store_config.clone());
+    }
+
+    /// Crashes the node (fault injection): contents lost, unreachable.
+    /// Idempotent.
+    pub fn crash(&mut self) {
+        self.online = false;
+        self.health = NodeHealth::Crashed;
         self.store = SlabStore::new(self.store_config.clone());
     }
 }
@@ -76,6 +117,39 @@ mod tests {
         n.power_off();
         assert!(!n.is_online());
         assert_eq!(n.store.len(), 0);
+    }
+
+    #[test]
+    fn crash_is_terminal_and_idempotent() {
+        let mut n = CacheNode::new(
+            NodeId(2),
+            StoreConfig::with_memory(elmem_util::ByteSize::from_mib(4)),
+            1e9,
+            SimTime::from_micros(10),
+        );
+        n.store.set(KeyId(7), 100, SimTime::from_secs(1)).unwrap();
+        n.crash();
+        assert!(!n.is_online());
+        assert!(n.is_crashed());
+        assert_eq!(n.health(), NodeHealth::Crashed);
+        assert_eq!(n.store.len(), 0);
+        n.crash();
+        assert!(n.is_crashed());
+    }
+
+    #[test]
+    fn power_off_is_noop_on_crashed_node() {
+        let mut n = CacheNode::new(
+            NodeId(3),
+            StoreConfig::with_memory(elmem_util::ByteSize::from_mib(4)),
+            1e9,
+            SimTime::from_micros(10),
+        );
+        n.crash();
+        n.power_off();
+        // Still reported crashed, not cleanly powered off.
+        assert!(n.is_crashed());
+        assert!(!n.is_online());
     }
 
     #[test]

@@ -220,6 +220,50 @@ impl CacheTier {
         }
     }
 
+    /// Crashes a node (fault injection): contents lost, unreachable.
+    /// The node *stays in the membership* until the control plane evicts
+    /// it — clients keep hashing to it and observe misses, exactly like a
+    /// real Memcached fleet with no automatic failover. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`ElmemError::UnknownNode`] for an unknown id.
+    pub fn crash(&mut self, id: NodeId) -> Result<(), ElmemError> {
+        self.node_mut(id)?.crash();
+        Ok(())
+    }
+
+    /// Ids of crashed nodes (member or not), ascending.
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .values()
+            .filter(|n| n.is_crashed())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Removes every crashed node from the membership (the control plane's
+    /// failure response), returning the ids actually evicted. Idempotent;
+    /// refuses to empty the membership — if every member has crashed, the
+    /// last one is kept so clients still have a (missing) place to hash to.
+    pub fn evict_crashed(&mut self) -> Vec<NodeId> {
+        let mut evictable: Vec<NodeId> = self
+            .membership
+            .members()
+            .iter()
+            .copied()
+            .filter(|&id| self.nodes.get(&id).is_some_and(|n| n.is_crashed()))
+            .collect();
+        let members = self.membership.len();
+        if evictable.len() >= members {
+            evictable.truncate(members.saturating_sub(1));
+        }
+        if !evictable.is_empty() {
+            let _ = self.membership.remove(&evictable);
+        }
+        evictable
+    }
+
     /// Resolves which member node serves `key` at the current membership.
     pub fn node_for_key(&self, key: elmem_util::KeyId) -> Option<NodeId> {
         self.membership.ring().node_for(key)
@@ -326,5 +370,39 @@ mod tests {
     fn commit_add_unknown_node_rejected() {
         let mut t = tier();
         assert!(t.commit_add(&[NodeId(42)]).is_err());
+    }
+
+    #[test]
+    fn crash_keeps_membership_until_eviction() {
+        let mut t = tier();
+        t.crash(NodeId(1)).unwrap();
+        assert!(t.node(NodeId(1)).unwrap().is_crashed());
+        assert_eq!(t.membership().len(), 4, "crash does not flip membership");
+        assert_eq!(t.crashed_nodes(), vec![NodeId(1)]);
+        let evicted = t.evict_crashed();
+        assert_eq!(evicted, vec![NodeId(1)]);
+        assert_eq!(t.membership().len(), 3);
+        // Idempotent: nothing left to evict.
+        assert!(t.evict_crashed().is_empty());
+    }
+
+    #[test]
+    fn evict_crashed_never_empties_membership() {
+        let mut t = tier();
+        for id in 0..4 {
+            t.crash(NodeId(id)).unwrap();
+        }
+        let evicted = t.evict_crashed();
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(t.membership().len(), 1);
+    }
+
+    #[test]
+    fn crash_unknown_node_rejected() {
+        let mut t = tier();
+        assert!(matches!(
+            t.crash(NodeId(99)),
+            Err(ElmemError::UnknownNode(99))
+        ));
     }
 }

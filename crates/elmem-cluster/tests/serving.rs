@@ -89,7 +89,7 @@ fn request_outcome_accounts_every_lookup() {
     c.prefill((0..100).map(KeyId), SimTime::ZERO);
     let req = WebRequest {
         arrival: SimTime::from_millis(10),
-        keys: vec![KeyId(1), KeyId(2), KeyId(999_99), KeyId(3)],
+        keys: vec![KeyId(1), KeyId(2), KeyId(99_999), KeyId(3)],
     };
     let out = c.handle(&req);
     assert_eq!(out.lookups, 4);

@@ -182,7 +182,7 @@ impl AutoScaler {
         let rate = self.config.spatial_sample_rate;
         if rate < 1.0 {
             let threshold = (rate * u64::MAX as f64) as u64;
-            if elmem_util::hashutil::mix64(key.0 ^ 0x5ca1e_d0_5a3b1e) > threshold {
+            if elmem_util::hashutil::mix64(key.0 ^ 0x0005_ca1e_d05a_3b1e) > threshold {
                 return;
             }
         }

@@ -8,6 +8,7 @@
 //! timeline plus a log of scaling events with their migration reports.
 
 use elmem_cluster::{Cluster, ClusterConfig};
+use elmem_sim::fault::{FaultAction, FaultInjector, FaultPlan};
 use elmem_sim::EventQueue;
 use elmem_util::stats::{TimelinePoint, TimelineRecorder};
 use elmem_util::{DetRng, NodeId, SimTime};
@@ -16,7 +17,7 @@ use elmem_workload::{RequestGenerator, WorkloadConfig};
 use crate::autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
 use crate::master::{DeferredKind, Master};
 use crate::predictive::{PredictiveAutoScaler, PredictiveConfig};
-use crate::migration::{MigrationCosts, MigrationReport};
+use crate::migration::{MigrationCosts, MigrationReport, Supervision};
 use crate::policies::MigrationPolicy;
 
 /// A scripted scaling action (used when experiments pin the scaling moment
@@ -71,6 +72,9 @@ pub struct ExperimentConfig {
     pub prefill_top_ranks: u64,
     /// Migration cost model.
     pub costs: MigrationCosts,
+    /// Faults to inject (crashes, link degradation, shipment drops);
+    /// [`FaultPlan::new`] injects nothing.
+    pub faults: FaultPlan,
     /// Master seed.
     pub seed: u64,
 }
@@ -178,6 +182,7 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
     }
 
     let mut autoscaler = config.autoscaler.as_ref().map(ScalerInstance::new);
+    let mut injector = FaultInjector::new(config.faults.clone(), rng.split("faults"));
     let mut control: EventQueue<DeferredKind> = EventQueue::new();
     let mut scheduled = config.scheduled.clone();
     scheduled.sort_by_key(|(t, _)| *t);
@@ -191,7 +196,12 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
     while let Some(req) = gen.next_request() {
         let now = req.arrival;
 
-        // 1. Apply control events that have come due.
+        // 1. Inject faults that have come due (before control events at the
+        // same instant: a crash beats the commit racing it), then apply
+        // control events.
+        for (_, action) in injector.due(now) {
+            apply_fault(&mut cluster, &action);
+        }
         while control.peek_time().is_some_and(|t| t <= now) {
             let (_, ev) = control.pop().expect("peeked");
             Master::apply(&mut cluster, &ev);
@@ -201,7 +211,15 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         while scheduled_idx < scheduled.len() && scheduled[scheduled_idx].0 <= now {
             let (at, action) = scheduled[scheduled_idx];
             scheduled_idx += 1;
-            trigger(&mut cluster, &mut master, action, at.max(now), &mut control, &mut events);
+            trigger(
+                &mut cluster,
+                &mut master,
+                action,
+                at.max(now),
+                &mut control,
+                &mut events,
+                &mut injector,
+            );
         }
 
         // 3. AutoScaler decision (when idle and an epoch has elapsed).
@@ -224,7 +242,15 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
                             count: hint.scale_out_count(),
                         }
                     };
-                    trigger(&mut cluster, &mut master, action, now, &mut control, &mut events);
+                    trigger(
+                        &mut cluster,
+                        &mut master,
+                        action,
+                        now,
+                        &mut control,
+                        &mut events,
+                        &mut injector,
+                    );
                 }
                 lookups_since = 0;
                 rate_anchor = now;
@@ -245,8 +271,12 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         recorder.record_request(outcome.completion, outcome.rt_ms(), outcome.hits, outcome.lookups);
     }
 
-    // Drain remaining control events so membership reflects every decision.
-    while let Some((_, ev)) = control.pop() {
+    // Drain remaining control events so membership reflects every decision
+    // (faults scheduled before the last commit must land first).
+    while let Some((at, ev)) = control.pop() {
+        for (_, action) in injector.due(at) {
+            apply_fault(&mut cluster, &action);
+        }
         Master::apply(&mut cluster, &ev);
     }
 
@@ -258,6 +288,32 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
     }
 }
 
+/// Applies one fault action to the serving stack. Actions against a node
+/// that has already left the tier are ignored.
+fn apply_fault(cluster: &mut Cluster, action: &FaultAction) {
+    match *action {
+        FaultAction::Crash(n) => {
+            let _ = cluster.tier.crash(n);
+        }
+        FaultAction::SlowLink(n, factor) => {
+            if let Ok(node) = cluster.tier.node_mut(n) {
+                node.link.apply_slowdown(factor);
+            }
+        }
+        FaultAction::RestoreLink(n) => {
+            if let Ok(node) = cluster.tier.node_mut(n) {
+                node.link.restore_bandwidth();
+            }
+        }
+        FaultAction::PartitionLink(n, until) => {
+            if let Ok(node) = cluster.tier.node_mut(n) {
+                node.link.partition_until(until);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn trigger(
     cluster: &mut Cluster,
     master: &mut Master,
@@ -265,15 +321,17 @@ fn trigger(
     now: SimTime,
     control: &mut EventQueue<DeferredKind>,
     events: &mut Vec<ScalingEvent>,
+    injector: &mut FaultInjector,
 ) {
     let members = cluster.tier.membership().len() as u32;
+    let mut supervision = Supervision::with_faults(injector);
     let orch = match action {
         ScaleAction::In { count } => {
             let count = count.min(members.saturating_sub(1));
             if count == 0 {
                 return;
             }
-            match master.scale_in(cluster, count, now) {
+            match master.scale_in_supervised(cluster, count, now, &mut supervision) {
                 Ok(orch) => orch,
                 Err(_) => return,
             }
@@ -282,7 +340,7 @@ fn trigger(
             if count == 0 {
                 return;
             }
-            match master.scale_out(cluster, count, now) {
+            match master.scale_out_supervised(cluster, count, now, &mut supervision) {
                 Ok(orch) => orch,
                 Err(_) => return,
             }
@@ -291,10 +349,24 @@ fn trigger(
     for deferred in &orch.deferred {
         control.schedule(deferred.at, deferred.kind.clone());
     }
-    let to_nodes = match action {
-        ScaleAction::In { .. } => members - orch.nodes.len() as u32,
-        ScaleAction::Out { .. } => members + orch.nodes.len() as u32,
-    };
+    // Member count after every deferred action lands. Inline policies have
+    // already flipped the membership; deferred removals/evictions only
+    // count for nodes still in it (an evicted scale-out node never joined).
+    let membership = cluster.tier.membership().members().to_vec();
+    let delta: i64 = orch
+        .deferred
+        .iter()
+        .map(|d| match &d.kind {
+            DeferredKind::CommitRemove(v) | DeferredKind::EvictCrashed(v) => {
+                -(v.iter().filter(|id| membership.contains(id)).count() as i64)
+            }
+            DeferredKind::CommitAdd(v) => {
+                v.iter().filter(|id| !membership.contains(id)).count() as i64
+            }
+            DeferredKind::DiscardSecondary(_) => 0,
+        })
+        .sum();
+    let to_nodes = (membership.len() as i64 + delta).max(1) as u32;
     events.push(ScalingEvent {
         decided_at: now,
         committed_at: orch.committed_at,
@@ -328,6 +400,7 @@ mod tests {
             scheduled: vec![(SimTime::from_secs(30), ScaleAction::In { count: 1 })],
             prefill_top_ranks: 10_000,
             costs: MigrationCosts::default(),
+            faults: FaultPlan::new(),
             seed: 7,
         }
     }

@@ -10,7 +10,10 @@
 //!   `p_min > 1 − r_DB/r` plus stack-distance memory sizing;
 //! * [`migration`] — the 3-phase migration (§III-D): metadata transfer,
 //!   hotness comparison (FuseCache), data migration, with modeled network
-//!   and CPU costs producing the paper's ~2-minute overhead breakdown;
+//!   and CPU costs producing the paper's ~2-minute overhead breakdown —
+//!   runnable under [`migration::Supervision`] (per-phase deadlines,
+//!   shipment-drop retries, crash aborts) against an
+//!   `elmem_sim::FaultPlan`;
 //! * [`policies`] — the comparators of §V: `baseline` (no migration),
 //!   `Naive`, and `CacheScale`;
 //! * [`elasticity`] — the end-to-end driver tying the control plane to the
@@ -47,6 +50,13 @@ pub use elasticity::{
 pub use master::{DeferredAction, DeferredKind, Master, Orchestration};
 pub use predictive::{PredictiveAutoScaler, PredictiveConfig};
 pub use fusecache::{fusecache, fusecache_instrumented, kway_top_n, sort_merge_top_n, SelectionStats};
-pub use migration::{migrate_scale_in, migrate_scale_out, MigrationCosts, MigrationReport, PhaseBreakdown};
+pub use migration::{
+    migrate_scale_in, migrate_scale_in_supervised, migrate_scale_out, AbortCause, MigrationCosts,
+    MigrationOutcome, MigrationPhase, MigrationReport, PhaseBreakdown, PhaseDeadlines, RetryPolicy,
+    Supervision,
+};
+// Re-exported so experiment configs can name their fault plan without
+// depending on `elmem-sim` directly.
+pub use elmem_sim::fault::{FaultKind, FaultPlan, ScheduledFault};
 pub use policies::MigrationPolicy;
 pub use scoring::{choose_retiring, node_score};

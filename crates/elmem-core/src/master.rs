@@ -13,7 +13,8 @@ use elmem_cluster::Cluster;
 use elmem_util::{DetRng, ElmemError, NodeId, SimTime};
 
 use crate::migration::{
-    migrate_naive_scale_in, migrate_scale_in, migrate_scale_out, MigrationCosts, MigrationReport,
+    migrate_naive_scale_in, migrate_scale_in_supervised, migrate_scale_out, MigrationCosts,
+    MigrationOutcome, MigrationReport, Supervision,
 };
 use crate::policies::MigrationPolicy;
 use crate::scoring::choose_retiring;
@@ -37,6 +38,10 @@ pub enum DeferredKind {
     CommitAdd(Vec<NodeId>),
     /// CacheScale: disarm the secondary ring and power these nodes off.
     DiscardSecondary(Vec<NodeId>),
+    /// Remove crashed nodes from the membership (abort fallback): mark
+    /// them crashed and drop them from the ring. No power-off — they are
+    /// already gone.
+    EvictCrashed(Vec<NodeId>),
 }
 
 /// What one orchestration call did.
@@ -132,6 +137,31 @@ impl Master {
         count: u32,
         now: SimTime,
     ) -> Result<Orchestration, ElmemError> {
+        self.scale_in_supervised(cluster, count, now, &mut Supervision::none())
+    }
+
+    /// [`Master::scale_in`] under supervision: the ElMem migration runs
+    /// with deadlines, shipment-drop retries, and crash-abort handling
+    /// (the comparators have no supervised path and behave as usual).
+    ///
+    /// On [`MigrationOutcome::Aborted`] the Master does not panic and does
+    /// not roll back: partial imports stay, and the scaling is committed
+    /// without further migration at the abort instant. A crashed node —
+    /// whether a retiring source or a retained destination — is evicted
+    /// from the membership via [`DeferredKind::EvictCrashed`]; the
+    /// surviving victims go through the usual
+    /// [`DeferredKind::CommitRemove`], which never targets a crashed node.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Master::scale_in`].
+    pub fn scale_in_supervised(
+        &mut self,
+        cluster: &mut Cluster,
+        count: u32,
+        now: SimTime,
+        supervision: &mut Supervision<'_>,
+    ) -> Result<Orchestration, ElmemError> {
         let members = cluster.tier.membership().len() as u32;
         if count == 0 || count >= members {
             return Err(ElmemError::InvalidScaling(format!(
@@ -151,14 +181,48 @@ impl Master {
             }
             MigrationPolicy::ElMem { import } => {
                 let (victims, _) = choose_retiring(&cluster.tier, count as usize);
-                let report =
-                    migrate_scale_in(&mut cluster.tier, &victims, now, &self.costs, import)?;
+                let report = migrate_scale_in_supervised(
+                    &mut cluster.tier,
+                    &victims,
+                    now,
+                    &self.costs,
+                    import,
+                    supervision,
+                )?;
                 let committed_at = report.completed;
-                Orchestration {
-                    deferred: vec![DeferredAction {
+                let mut deferred = Vec::new();
+                match report.outcome {
+                    MigrationOutcome::Completed => deferred.push(DeferredAction {
                         at: committed_at,
                         kind: DeferredKind::CommitRemove(victims.clone()),
-                    }],
+                    }),
+                    MigrationOutcome::Aborted { .. } => {
+                        // Fallback: commit the scaling without further
+                        // migration. The crashed node (source or
+                        // destination) leaves via eviction, never via
+                        // CommitRemove.
+                        let crashed = report.outcome.crashed_node();
+                        if let Some(x) = crashed {
+                            deferred.push(DeferredAction {
+                                at: committed_at,
+                                kind: DeferredKind::EvictCrashed(vec![x]),
+                            });
+                        }
+                        let survivors: Vec<NodeId> = victims
+                            .iter()
+                            .copied()
+                            .filter(|v| Some(*v) != crashed)
+                            .collect();
+                        if !survivors.is_empty() {
+                            deferred.push(DeferredAction {
+                                at: committed_at,
+                                kind: DeferredKind::CommitRemove(survivors),
+                            });
+                        }
+                    }
+                }
+                Orchestration {
+                    deferred,
                     nodes: victims,
                     report: Some(report),
                     committed_at,
@@ -229,6 +293,24 @@ impl Master {
         count: u32,
         now: SimTime,
     ) -> Result<Orchestration, ElmemError> {
+        self.scale_out_supervised(cluster, count, now, &mut Supervision::none())
+    }
+
+    /// [`Master::scale_out`] under supervision: a freshly provisioned node
+    /// that crashes before the membership flip is filtered out of
+    /// [`DeferredKind::CommitAdd`] and evicted instead — the cluster never
+    /// commits a dead node into the ring.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Master::scale_out`].
+    pub fn scale_out_supervised(
+        &mut self,
+        cluster: &mut Cluster,
+        count: u32,
+        now: SimTime,
+        supervision: &mut Supervision<'_>,
+    ) -> Result<Orchestration, ElmemError> {
         if count == 0 {
             return Err(ElmemError::InvalidScaling("zero new nodes".to_string()));
         }
@@ -237,11 +319,25 @@ impl Master {
             MigrationPolicy::ElMem { .. } => {
                 let report = migrate_scale_out(&mut cluster.tier, &ids, now, &self.costs)?;
                 let committed_at = report.completed;
-                Orchestration {
-                    deferred: vec![DeferredAction {
+                let (dead, alive): (Vec<NodeId>, Vec<NodeId>) = ids
+                    .iter()
+                    .copied()
+                    .partition(|&id| supervision.crash_before(id, committed_at).is_some());
+                let mut deferred = Vec::new();
+                if !dead.is_empty() {
+                    deferred.push(DeferredAction {
                         at: committed_at,
-                        kind: DeferredKind::CommitAdd(ids.clone()),
-                    }],
+                        kind: DeferredKind::EvictCrashed(dead),
+                    });
+                }
+                if !alive.is_empty() {
+                    deferred.push(DeferredAction {
+                        at: committed_at,
+                        kind: DeferredKind::CommitAdd(alive),
+                    });
+                }
+                Orchestration {
+                    deferred,
                     nodes: ids,
                     report: Some(report),
                     committed_at,
@@ -267,14 +363,40 @@ impl Master {
     pub fn apply(cluster: &mut Cluster, kind: &DeferredKind) {
         match kind {
             DeferredKind::CommitRemove(victims) => {
-                let _ = cluster.tier.commit_remove(victims);
+                // A victim that crashed between orchestration and commit
+                // (or is no longer a member) cannot be removed cleanly —
+                // the evict path owns crashed nodes. CommitRemove never
+                // targets them.
+                let (live, crashed): (Vec<NodeId>, Vec<NodeId>) = victims
+                    .iter()
+                    .copied()
+                    .filter(|&v| cluster.tier.membership().members().contains(&v))
+                    .partition(|&v| {
+                        cluster.tier.node(v).map(|n| !n.is_crashed()).unwrap_or(false)
+                    });
+                if !live.is_empty() {
+                    let _ = cluster.tier.commit_remove(&live);
+                }
+                // A victim that crashed after migration finished (no abort)
+                // still has to leave the membership — via eviction, since
+                // the power-off directive cannot reach it.
+                if !crashed.is_empty() {
+                    let _ = cluster.tier.evict_crashed();
+                }
             }
             DeferredKind::CommitAdd(ids) => {
                 let _ = cluster.tier.commit_add(ids);
             }
             DeferredKind::DiscardSecondary(victims) => {
                 cluster.disarm_secondary();
+                // power_off is a per-node no-op for crashed secondaries.
                 cluster.tier.power_off(victims);
+            }
+            DeferredKind::EvictCrashed(ids) => {
+                for &id in ids {
+                    let _ = cluster.tier.crash(id); // idempotent
+                }
+                let _ = cluster.tier.evict_crashed();
             }
         }
     }
@@ -372,6 +494,86 @@ mod tests {
         assert!(m.scale_in(&mut c, 0, SimTime::ZERO).is_err());
         assert!(m.scale_in(&mut c, 4, SimTime::ZERO).is_err());
         assert!(m.scale_out(&mut c, 0, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn crashed_victim_never_in_commit_remove() {
+        use crate::migration::{AbortCause, MigrationPhase};
+        use elmem_sim::fault::{FaultInjector, FaultPlan};
+
+        let mut c = warmed_cluster();
+        let now = SimTime::from_secs(10_000);
+        // Learn who the Master will retire, then crash exactly that node
+        // early in phase 1.
+        let (victims, _) = crate::scoring::choose_retiring(&c.tier, 1);
+        let victim = victims[0];
+        let mut inj = FaultInjector::new(
+            FaultPlan::new().crash(now + SimTime::from_millis(1), victim),
+            DetRng::seed(3).split("faults"),
+        );
+        let mut m = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), 1);
+        let orch = m
+            .scale_in_supervised(&mut c, 1, now, &mut Supervision::with_faults(&mut inj))
+            .unwrap();
+        let report = orch.report.as_ref().unwrap();
+        assert_eq!(
+            report.outcome,
+            MigrationOutcome::Aborted {
+                phase: MigrationPhase::MetadataTransfer,
+                cause: AbortCause::SourceCrashed(victim),
+            }
+        );
+        // The crashed victim leaves via eviction, never via CommitRemove.
+        for d in &orch.deferred {
+            if let DeferredKind::CommitRemove(targets) = &d.kind {
+                assert!(!targets.contains(&victim));
+            }
+        }
+        assert!(orch
+            .deferred
+            .iter()
+            .any(|d| d.kind == DeferredKind::EvictCrashed(vec![victim])));
+        // Applying the fallback yields a consistent 3-node membership
+        // without the dead node.
+        c.tier.crash(victim).unwrap();
+        for d in &orch.deferred {
+            Master::apply(&mut c, &d.kind);
+        }
+        assert_eq!(c.tier.membership().len(), 3);
+        assert!(!c.tier.membership().members().contains(&victim));
+    }
+
+    #[test]
+    fn apply_commit_remove_skips_crashed_nodes() {
+        let mut c = warmed_cluster();
+        let victims = vec![NodeId(0), NodeId(1)];
+        c.tier.crash(NodeId(0)).unwrap();
+        Master::apply(&mut c, &DeferredKind::CommitRemove(victims));
+        // Both victims leave the membership, but through different doors:
+        // the healthy one is cleanly removed and powered off, the crashed
+        // one is evicted (its power-off would be undeliverable).
+        assert!(!c.tier.membership().members().contains(&NodeId(1)));
+        assert!(!c.tier.membership().members().contains(&NodeId(0)));
+        assert_eq!(c.tier.membership().len(), 2);
+        assert!(!c.tier.node(NodeId(1)).unwrap().is_online());
+        assert!(c.tier.node(NodeId(0)).unwrap().is_crashed());
+    }
+
+    #[test]
+    fn discard_secondary_is_noop_for_crashed_node() {
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::cachescale(), MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        let orch = m.scale_in(&mut c, 1, now).unwrap();
+        let victim = orch.nodes[0];
+        // The secondary crashes inside the CacheScale window.
+        c.tier.crash(victim).unwrap();
+        Master::apply(&mut c, &orch.deferred[0].kind);
+        assert!(!c.secondary_armed());
+        // The power-off directive could not reach the dead node: it stays
+        // crashed (not cleanly powered off), and nothing panicked.
+        assert!(c.tier.node(victim).unwrap().is_crashed());
+        assert!(!c.tier.node(victim).unwrap().is_online());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 
 use std::collections::HashMap;
 
-use elmem_cluster::CacheTier;
+use elmem_cluster::{CacheNode, CacheTier};
+use elmem_sim::fault::FaultInjector;
 use elmem_store::{ClassId, Hotness, ImportMode, ItemMeta, KEY_BYTES, TIMESTAMP_BYTES};
 use elmem_util::{ByteSize, ElmemError, NodeId, SimTime};
 use serde::{Deserialize, Serialize};
@@ -111,6 +112,203 @@ pub struct MigrationReport {
     pub metadata_bytes: ByteSize,
     /// Items considered (dumped) on the sources.
     pub items_considered: u64,
+    /// How the migration ended: ran to completion, or aborted by the
+    /// supervisor on a fault or deadline.
+    pub outcome: MigrationOutcome,
+    /// Shipment attempts beyond the first (metadata + data phases),
+    /// consumed from the [`RetryPolicy`] budget by injected drops.
+    ///
+    /// Database sheds during the post-commit refill storm do **not**
+    /// count here — see `elmem_cluster::DbFetch::Shed`.
+    pub transfer_retries: u32,
+}
+
+/// The three migration phases of §III-D, as the supervisor attributes
+/// faults to them. The preliminary scoring + dump work is folded into
+/// [`MigrationPhase::MetadataTransfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationPhase {
+    /// §III-D1: dumping `(key, timestamp)` metadata and shipping it.
+    MetadataTransfer,
+    /// §III-D2: FuseCache on the destinations.
+    HotnessComparison,
+    /// §III-D3: shipping and importing the chosen KV pairs.
+    DataMigration,
+}
+
+/// Why the supervisor aborted a migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortCause {
+    /// A retiring source died mid-flight.
+    SourceCrashed(NodeId),
+    /// A retained (or newly provisioned) destination died mid-flight.
+    DestinationCrashed(NodeId),
+    /// A phase overran its [`PhaseDeadlines`] budget.
+    DeadlineExceeded,
+    /// A shipment kept dropping until the retry budget ran out.
+    TransferRetriesExhausted {
+        /// The source whose shipment would not go through.
+        source: NodeId,
+        /// Attempts beyond the first that were made.
+        attempts: u32,
+    },
+}
+
+impl AbortCause {
+    /// The node whose crash caused the abort, if any.
+    pub fn crashed_node(&self) -> Option<NodeId> {
+        match self {
+            AbortCause::SourceCrashed(n) | AbortCause::DestinationCrashed(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// How a migration ended.
+///
+/// Aborting is a *handled* outcome, not an error: the report's `completed`
+/// instant is when the Master gave up, partial phase-3 imports are kept
+/// (they are strictly-hotter data already in place on healthy nodes), and
+/// the Master falls back to committing the scaling without further
+/// migration — excluding any crashed node from the retained membership.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MigrationOutcome {
+    /// All three phases ran to the end.
+    Completed,
+    /// The supervisor aborted in `phase` because of `cause`.
+    Aborted {
+        /// The phase the fault landed in.
+        phase: MigrationPhase,
+        /// What went wrong.
+        cause: AbortCause,
+    },
+}
+
+impl MigrationOutcome {
+    /// Whether the migration ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, MigrationOutcome::Completed)
+    }
+
+    /// The crashed node behind an abort, if that was the cause.
+    pub fn crashed_node(&self) -> Option<NodeId> {
+        match self {
+            MigrationOutcome::Completed => None,
+            MigrationOutcome::Aborted { cause, .. } => cause.crashed_node(),
+        }
+    }
+}
+
+/// Per-phase wall-clock budgets. `None` disables the check for that
+/// phase; [`PhaseDeadlines::none`] (the default) supervises nothing, so
+/// unsupervised migrations behave exactly as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseDeadlines {
+    /// Budget for the metadata-transfer duration (excluding scoring+dump).
+    pub metadata: Option<SimTime>,
+    /// Budget for the FuseCache duration.
+    pub hotness: Option<SimTime>,
+    /// Budget for data transfer + import combined.
+    pub data: Option<SimTime>,
+}
+
+impl PhaseDeadlines {
+    /// No deadlines.
+    pub fn none() -> Self {
+        PhaseDeadlines::default()
+    }
+}
+
+/// Bounded-exponential-backoff retry budget for dropped shipments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries allowed per shipment before aborting (beyond the first
+    /// attempt).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub backoff_base: SimTime,
+    /// Backoff ceiling.
+    pub backoff_cap: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: SimTime::from_millis(500),
+            backoff_cap: SimTime::from_secs(8),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based): `base · 2^(a-1)`,
+    /// capped.
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        let exp = attempt.saturating_sub(1).min(32);
+        let ns = self
+            .backoff_base
+            .as_nanos()
+            .saturating_mul(1u64 << exp)
+            .min(self.backoff_cap.as_nanos());
+        SimTime::from_nanos(ns)
+    }
+}
+
+/// Supervision context for a migration: deadlines, the retry budget, and
+/// (optionally) the fault injector whose scheduled crashes and sampled
+/// drops the supervisor consults. [`Supervision::none`] supervises
+/// nothing — the unsupervised entry points use it.
+#[derive(Debug)]
+pub struct Supervision<'a> {
+    /// Per-phase wall-clock budgets.
+    pub deadlines: PhaseDeadlines,
+    /// Retry budget for dropped shipments.
+    pub retry: RetryPolicy,
+    /// The experiment's fault injector, when faults are being injected.
+    pub faults: Option<&'a mut FaultInjector>,
+}
+
+impl Supervision<'static> {
+    /// No deadlines, default retries, no faults.
+    pub fn none() -> Self {
+        Supervision {
+            deadlines: PhaseDeadlines::none(),
+            retry: RetryPolicy::default(),
+            faults: None,
+        }
+    }
+}
+
+impl<'a> Supervision<'a> {
+    /// Supervision against `injector` with default deadlines/retries.
+    pub fn with_faults(injector: &'a mut FaultInjector) -> Self {
+        Supervision {
+            deadlines: PhaseDeadlines::none(),
+            retry: RetryPolicy::default(),
+            faults: Some(injector),
+        }
+    }
+
+    /// When `node` crashes strictly before `end`, if ever.
+    pub(crate) fn crash_before(&self, node: NodeId, end: SimTime) -> Option<SimTime> {
+        self.faults
+            .as_ref()
+            .and_then(|f| f.crash_time(node))
+            .filter(|&t| t < end)
+    }
+
+    fn sample_metadata_drop(&mut self) -> bool {
+        self.faults
+            .as_mut()
+            .is_some_and(|f| f.sample_metadata_drop())
+    }
+
+    fn sample_transfer_drop(&mut self) -> bool {
+        self.faults
+            .as_mut()
+            .is_some_and(|f| f.sample_transfer_drop())
+    }
 }
 
 /// How the destination merges migrated items (ElMem uses `Merge`; the
@@ -136,26 +334,105 @@ pub fn migrate_scale_in(
     costs: &MigrationCosts,
     import_mode: ImportMode,
 ) -> Result<MigrationReport, ElmemError> {
+    migrate_scale_in_supervised(tier, retiring, now, costs, import_mode, &mut Supervision::none())
+}
+
+/// Typed node access during migration: a member that cannot be reached
+/// mid-flight surfaces as [`ElmemError::NodeUnavailable`] instead of a
+/// panic.
+fn live_node(tier: &CacheTier, id: NodeId) -> Result<&CacheNode, ElmemError> {
+    tier.node(id).map_err(|_| ElmemError::NodeUnavailable(id.0))
+}
+
+fn live_node_mut(tier: &mut CacheTier, id: NodeId) -> Result<&mut CacheNode, ElmemError> {
+    tier.node_mut(id).map_err(|_| ElmemError::NodeUnavailable(id.0))
+}
+
+/// Builds the report for an aborted migration: `completed` is the abort
+/// instant (never before `started`).
+#[allow(clippy::too_many_arguments)]
+fn aborted(
+    started: SimTime,
+    at: SimTime,
+    phases: PhaseBreakdown,
+    phase: MigrationPhase,
+    cause: AbortCause,
+    items_migrated: u64,
+    bytes_migrated: ByteSize,
+    metadata_bytes: ByteSize,
+    items_considered: u64,
+    transfer_retries: u32,
+) -> MigrationReport {
+    MigrationReport {
+        started,
+        completed: at.max(started),
+        phases,
+        items_migrated,
+        bytes_migrated,
+        metadata_bytes,
+        items_considered,
+        outcome: MigrationOutcome::Aborted { phase, cause },
+        transfer_retries,
+    }
+}
+
+/// Which phase a fault time falls in, given the phase boundaries.
+fn phase_of(t: SimTime, phase1_end: SimTime, phase2_end: SimTime) -> MigrationPhase {
+    if t < phase1_end {
+        MigrationPhase::MetadataTransfer
+    } else if t < phase2_end {
+        MigrationPhase::HotnessComparison
+    } else {
+        MigrationPhase::DataMigration
+    }
+}
+
+/// [`migrate_scale_in`] under supervision: per-phase deadlines, bounded
+/// exponential-backoff retries for dropped shipments, and clean aborts
+/// when a source or destination crashes mid-flight.
+///
+/// On an abort the function still returns `Ok`: the report's `outcome` is
+/// [`MigrationOutcome::Aborted`] with the phase the fault landed in and
+/// its cause, `completed` is the abort instant, and any phase-3 imports
+/// already applied are **kept** (they are strictly-hotter data already on
+/// healthy retained nodes). The caller — the Master — decides the
+/// fallback: commit the scaling without further migration, excluding
+/// crashed nodes from the retained membership.
+///
+/// # Errors
+///
+/// Same validation as [`migrate_scale_in`];
+/// [`ElmemError::NodeUnavailable`] if a node vanishes from the tier
+/// mid-computation.
+pub fn migrate_scale_in_supervised(
+    tier: &mut CacheTier,
+    retiring: &[NodeId],
+    now: SimTime,
+    costs: &MigrationCosts,
+    import_mode: ImportMode,
+    supervision: &mut Supervision<'_>,
+) -> Result<MigrationReport, ElmemError> {
     let members = tier.membership().members().to_vec();
     validate_retiring(&members, retiring)?;
     let retained_ring = tier.membership().ring().without(retiring);
 
     let mut phases = PhaseBreakdown::default();
+    let mut transfer_retries = 0u32;
 
     // §III-C scoring cost: every member node crawls its slabs for medians
     // (done in parallel across nodes; take the max = any node's cost).
-    let max_slabs = members
-        .iter()
-        .map(|&id| {
-            let store = &tier.node(id).expect("member exists").store;
-            store.classes().ids().filter(|&c| store.len_of_class(c) > 0).count() as u64
-        })
-        .max()
-        .unwrap_or(0);
+    let mut max_slabs = 0u64;
+    for &id in &members {
+        let store = &live_node(tier, id)?.store;
+        let slabs = store.classes().ids().filter(|&c| store.len_of_class(c) > 0).count() as u64;
+        max_slabs = max_slabs.max(slabs);
+    }
     phases.scoring = SimTime::from_nanos(max_slabs * costs.score_ns_per_slab);
 
     // Phase 1 — dump + hash on each retiring node (parallel: take max),
-    // then ship metadata to targets (per-source link, serialized).
+    // then ship metadata to targets (per-source link, serialized). A
+    // dropped shipment is retried after a backoff; the retry budget
+    // covers only these injected drops (not database sheds).
     let mut items_considered = 0u64;
     let mut metadata_bytes = ByteSize::ZERO;
     let mut dump_max = SimTime::ZERO;
@@ -163,7 +440,7 @@ pub fn migrate_scale_in(
     let mut inbound: InboundMap = HashMap::new();
     let mut transfer_done = now;
     for &src in retiring {
-        let dump = tier.node(src).expect("validated above").store.dump_metadata();
+        let dump = live_node(tier, src)?.store.dump_metadata();
         let n_items: u64 = dump.total_items();
         items_considered += n_items;
         dump_max = dump_max.max(SimTime::from_nanos(n_items * costs.dump_ns_per_item));
@@ -171,9 +448,9 @@ pub fn migrate_scale_in(
         let mut per_target: HashMap<(NodeId, ClassId), Vec<ItemMeta>> = HashMap::new();
         for class_dump in &dump.classes {
             for item in &class_dump.items {
-                let target = retained_ring
-                    .node_for(item.key)
-                    .expect("retained ring nonempty");
+                let target = retained_ring.node_for(item.key).ok_or_else(|| {
+                    ElmemError::InconsistentMigration("retained ring is empty".to_string())
+                })?;
                 per_target
                     .entry((target, class_dump.class))
                     .or_default()
@@ -186,12 +463,34 @@ pub fn migrate_scale_in(
         let bytes = ByteSize((KEY_BYTES + TIMESTAMP_BYTES) * n_items);
         metadata_bytes += bytes;
         let pipeline = SimTime::from_nanos(n_items * costs.metadata_ns_per_item);
-        let done = tier
-            .node_mut(src)
-            .expect("validated above")
-            .link
-            .schedule_transfer(now, bytes)
-            + pipeline;
+        let mut attempt = 0u32;
+        let mut submit_at = now;
+        let done = loop {
+            let completion =
+                live_node_mut(tier, src)?.link.schedule_transfer(submit_at, bytes) + pipeline;
+            if !supervision.sample_metadata_drop() {
+                break completion;
+            }
+            attempt += 1;
+            transfer_retries += 1;
+            if attempt >= supervision.retry.max_attempts {
+                phases.dump = dump_max;
+                phases.metadata_transfer = completion.saturating_sub(now);
+                return Ok(aborted(
+                    now,
+                    completion,
+                    phases,
+                    MigrationPhase::MetadataTransfer,
+                    AbortCause::TransferRetriesExhausted { source: src, attempts: attempt },
+                    0,
+                    ByteSize::ZERO,
+                    metadata_bytes,
+                    items_considered,
+                    transfer_retries,
+                ));
+            }
+            submit_at = completion + supervision.retry.backoff(attempt);
+        };
         transfer_done = transfer_done.max(done);
         for ((target, class), items) in per_target {
             inbound.entry((target, class)).or_default().push((src, items));
@@ -199,19 +498,76 @@ pub fn migrate_scale_in(
     }
     phases.dump = dump_max;
     phases.metadata_transfer = transfer_done.saturating_sub(now);
+    let phase1_end = now + phases.scoring + phases.dump + phases.metadata_transfer;
+
+    // Destinations, deterministic order (needed for crash checks below
+    // and the FuseCache pass).
+    let mut dest_keys: Vec<(NodeId, ClassId)> = inbound.keys().copied().collect();
+    dest_keys.sort_unstable();
+    let mut dests: Vec<NodeId> = dest_keys.iter().map(|&(t, _)| t).collect();
+    dests.dedup();
+
+    // A source or destination that dies before the metadata lands aborts
+    // the migration in phase 1: its stream breaks and the Master gives up
+    // at the crash instant.
+    for &src in retiring {
+        if let Some(t) = supervision.crash_before(src, phase1_end) {
+            return Ok(aborted(
+                now,
+                t,
+                phases,
+                MigrationPhase::MetadataTransfer,
+                AbortCause::SourceCrashed(src),
+                0,
+                ByteSize::ZERO,
+                metadata_bytes,
+                items_considered,
+                transfer_retries,
+            ));
+        }
+    }
+    for &dest in &dests {
+        if let Some(t) = supervision.crash_before(dest, phase1_end) {
+            return Ok(aborted(
+                now,
+                t,
+                phases,
+                MigrationPhase::MetadataTransfer,
+                AbortCause::DestinationCrashed(dest),
+                0,
+                ByteSize::ZERO,
+                metadata_bytes,
+                items_considered,
+                transfer_retries,
+            ));
+        }
+    }
+    if let Some(budget) = supervision.deadlines.metadata {
+        if phases.metadata_transfer > budget {
+            return Ok(aborted(
+                now,
+                now + phases.scoring + phases.dump + budget,
+                phases,
+                MigrationPhase::MetadataTransfer,
+                AbortCause::DeadlineExceeded,
+                0,
+                ByteSize::ZERO,
+                metadata_bytes,
+                items_considered,
+                transfer_retries,
+            ));
+        }
+    }
 
     // Phase 2 — FuseCache on each retained node, per class: how many items
     // to accept from each source. Runs in parallel across destinations;
     // cost = max per destination.
-    let mut fusecache_ns_max = 0u64;
     // (source, target, class) → items to actually migrate.
     let mut plan: Vec<(NodeId, NodeId, ClassId, Vec<ItemMeta>)> = Vec::new();
-    let mut dest_keys: Vec<(NodeId, ClassId)> = inbound.keys().copied().collect();
-    dest_keys.sort_unstable(); // deterministic order
     let mut per_dest_ns: HashMap<NodeId, u64> = HashMap::new();
     for (target, class) in dest_keys {
         let sources = inbound.remove(&(target, class)).expect("key exists");
-        let dest_store = &tier.node(target).expect("retained member").store;
+        let dest_store = &live_node(tier, target)?.store;
         // Capacity for this class on the destination, in items:
         // the retained node's own list length n (FuseCache picks the top
         // n across its own list + incoming, per §IV-A).
@@ -243,37 +599,141 @@ pub fn migrate_scale_in(
             }
         }
     }
-    fusecache_ns_max = fusecache_ns_max.max(per_dest_ns.values().copied().max().unwrap_or(0));
-    phases.fusecache = SimTime::from_nanos(fusecache_ns_max);
+    phases.fusecache = SimTime::from_nanos(per_dest_ns.values().copied().max().unwrap_or(0));
+    let phase2_end = phase1_end + phases.fusecache;
+
+    // A destination dying during the comparison aborts in phase 2
+    // (crashes before phase 1's end already returned above).
+    for &dest in &dests {
+        if let Some(t) = supervision.crash_before(dest, phase2_end) {
+            return Ok(aborted(
+                now,
+                t,
+                phases,
+                MigrationPhase::HotnessComparison,
+                AbortCause::DestinationCrashed(dest),
+                0,
+                ByteSize::ZERO,
+                metadata_bytes,
+                items_considered,
+                transfer_retries,
+            ));
+        }
+    }
+    if let Some(budget) = supervision.deadlines.hotness {
+        if phases.fusecache > budget {
+            return Ok(aborted(
+                now,
+                phase1_end + budget,
+                phases,
+                MigrationPhase::HotnessComparison,
+                AbortCause::DeadlineExceeded,
+                0,
+                ByteSize::ZERO,
+                metadata_bytes,
+                items_considered,
+                transfer_retries,
+            ));
+        }
+    }
 
     // Phase 3 — ship the chosen KV pairs (source links, serialized) and
-    // batch-import on the destinations.
-    let data_start = now + phases.scoring + phases.dump + phases.metadata_transfer + phases.fusecache;
+    // batch-import on the destinations. Imports applied before an abort
+    // are kept: they are strictly-hotter data already in place.
+    let data_start = phase2_end;
     let mut items_migrated = 0u64;
     let mut bytes_migrated = ByteSize::ZERO;
     let mut data_done = data_start;
     let mut import_ns: HashMap<NodeId, u64> = HashMap::new();
     for (src, target, class, items) in plan {
         let bytes = ByteSize(items.iter().map(|i| i.footprint()).sum());
-        bytes_migrated += bytes;
-        items_migrated += items.len() as u64;
         let pipeline = SimTime::from_nanos(items.len() as u64 * costs.data_ns_per_item);
-        let done = tier
-            .node_mut(src)
-            .expect("validated above")
-            .link
-            .schedule_transfer(data_start, bytes)
-            + pipeline;
+        let mut attempt = 0u32;
+        let mut submit_at = data_start;
+        let done = loop {
+            let completion =
+                live_node_mut(tier, src)?.link.schedule_transfer(submit_at, bytes) + pipeline;
+            if !supervision.sample_transfer_drop() {
+                break completion;
+            }
+            attempt += 1;
+            transfer_retries += 1;
+            if attempt >= supervision.retry.max_attempts {
+                phases.data_transfer = completion.saturating_sub(data_start);
+                phases.import =
+                    SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
+                return Ok(aborted(
+                    now,
+                    completion,
+                    phases,
+                    MigrationPhase::DataMigration,
+                    AbortCause::TransferRetriesExhausted { source: src, attempts: attempt },
+                    items_migrated,
+                    bytes_migrated,
+                    metadata_bytes,
+                    items_considered,
+                    transfer_retries,
+                ));
+            }
+            submit_at = completion + supervision.retry.backoff(attempt);
+        };
+        // A source or destination dying before this shipment lands aborts
+        // here, keeping everything already imported. The phase is the one
+        // the crash time falls in (a node may die while idle in an
+        // earlier window and only be detected at its next shipment).
+        let crashed = supervision
+            .crash_before(src, done)
+            .map(|t| (t, AbortCause::SourceCrashed(src)))
+            .or_else(|| {
+                supervision
+                    .crash_before(target, done)
+                    .map(|t| (t, AbortCause::DestinationCrashed(target)))
+            });
+        if let Some((t, cause)) = crashed {
+            phases.data_transfer = t.max(data_start).saturating_sub(data_start);
+            phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
+            return Ok(aborted(
+                now,
+                t,
+                phases,
+                phase_of(t, phase1_end, phase2_end),
+                cause,
+                items_migrated,
+                bytes_migrated,
+                metadata_bytes,
+                items_considered,
+                transfer_retries,
+            ));
+        }
         data_done = data_done.max(done);
         *import_ns.entry(target).or_default() +=
             items.len() as u64 * costs.import_ns_per_item;
         // Apply the import (items are hottest-first within each source's
         // class list; the store re-sorts/merges as configured).
-        let node = tier.node_mut(target).expect("retained member");
+        let node = live_node_mut(tier, target)?;
         node.store.batch_import(class, &items, import_mode)?;
+        bytes_migrated += bytes;
+        items_migrated += items.len() as u64;
     }
     phases.data_transfer = data_done.saturating_sub(data_start);
     phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
+
+    if let Some(budget) = supervision.deadlines.data {
+        if phases.data_transfer + phases.import > budget {
+            return Ok(aborted(
+                now,
+                data_start + budget,
+                phases,
+                MigrationPhase::DataMigration,
+                AbortCause::DeadlineExceeded,
+                items_migrated,
+                bytes_migrated,
+                metadata_bytes,
+                items_considered,
+                transfer_retries,
+            ));
+        }
+    }
 
     Ok(MigrationReport {
         started: now,
@@ -283,6 +743,8 @@ pub fn migrate_scale_in(
         bytes_migrated,
         metadata_bytes,
         items_considered,
+        outcome: MigrationOutcome::Completed,
+        transfer_retries,
     })
 }
 
@@ -330,7 +792,7 @@ pub fn migrate_scale_out(
     // is ~1/(k+1) of its keys, which typically fits the new node outright.
     let mut moves: Vec<(NodeId, NodeId, ClassId, Vec<ItemMeta>)> = Vec::new();
     for &src in &members {
-        let dump = tier.node(src).expect("member exists").store.dump_metadata();
+        let dump = live_node(tier, src)?.store.dump_metadata();
         items_considered += dump.total_items();
         dump_max = dump_max.max(SimTime::from_nanos(
             dump.total_items() * costs.dump_ns_per_item,
@@ -338,7 +800,9 @@ pub fn migrate_scale_out(
         for class_dump in &dump.classes {
             let mut per_new: HashMap<NodeId, Vec<ItemMeta>> = HashMap::new();
             for item in &class_dump.items {
-                let owner = expanded_ring.node_for(item.key).expect("ring nonempty");
+                let owner = expanded_ring.node_for(item.key).ok_or_else(|| {
+                    ElmemError::InconsistentMigration("expanded ring is empty".to_string())
+                })?;
                 if new_nodes.contains(&owner) {
                     per_new.entry(owner).or_default().push(*item);
                 }
@@ -358,15 +822,13 @@ pub fn migrate_scale_out(
         let bytes = ByteSize(items.iter().map(|i| i.footprint()).sum());
         bytes_migrated += bytes;
         items_migrated += items.len() as u64;
-        let done = tier
-            .node_mut(src)
-            .expect("member exists")
+        let done = live_node_mut(tier, src)?
             .link
             .schedule_transfer(now + phases.dump, bytes);
         transfer_done = transfer_done.max(done);
         *import_ns.entry(target).or_default() +=
             items.len() as u64 * costs.import_ns_per_item;
-        let node = tier.node_mut(target).expect("provisioned node");
+        let node = live_node_mut(tier, target)?;
         node.store.batch_import(class, &items, ImportMode::Merge)?;
         // The source keeps its copy until the membership flips; after the
         // flip those keys hash to the new node and the stale copies age out
@@ -383,6 +845,8 @@ pub fn migrate_scale_out(
         bytes_migrated,
         metadata_bytes: ByteSize::ZERO,
         items_considered,
+        outcome: MigrationOutcome::Completed,
+        transfer_retries: 0,
     })
 }
 
@@ -432,7 +896,7 @@ pub fn migrate_naive_scale_in(
 
     let mut moves: Vec<(NodeId, NodeId, ClassId, Vec<ItemMeta>)> = Vec::new();
     for &src in retiring {
-        let dump = tier.node(src).expect("validated above").store.dump_metadata();
+        let dump = live_node(tier, src)?.store.dump_metadata();
         items_considered += dump.total_items();
         dump_max = dump_max.max(SimTime::from_nanos(
             dump.total_items() * costs.dump_ns_per_item,
@@ -441,7 +905,9 @@ pub fn migrate_naive_scale_in(
             let take = (class_dump.items.len() as f64 * fraction).ceil() as usize;
             let mut per_target: HashMap<NodeId, Vec<ItemMeta>> = HashMap::new();
             for (i, item) in class_dump.items.iter().take(take).enumerate() {
-                let target = retained_ring.node_for(item.key).expect("ring nonempty");
+                let target = retained_ring.node_for(item.key).ok_or_else(|| {
+                    ElmemError::InconsistentMigration("retained ring is empty".to_string())
+                })?;
                 // Plain-`set` semantics: the import gets a fresh access
                 // time (preserving only the shipment's internal order).
                 let corrupted = ItemMeta {
@@ -462,15 +928,13 @@ pub fn migrate_naive_scale_in(
         let bytes = ByteSize(items.iter().map(|i| i.footprint()).sum());
         bytes_migrated += bytes;
         items_migrated += items.len() as u64;
-        let done = tier
-            .node_mut(src)
-            .expect("validated above")
+        let done = live_node_mut(tier, src)?
             .link
             .schedule_transfer(now + phases.dump, bytes);
         transfer_done = transfer_done.max(done);
         *import_ns.entry(target).or_default() +=
             items.len() as u64 * costs.import_ns_per_item;
-        let node = tier.node_mut(target).expect("retained member");
+        let node = live_node_mut(tier, target)?;
         node.store.batch_import(class, &items, ImportMode::Prepend)?;
     }
     phases.data_transfer = transfer_done.saturating_sub(now + phases.dump);
@@ -484,6 +948,8 @@ pub fn migrate_naive_scale_in(
         bytes_migrated,
         metadata_bytes: ByteSize::ZERO,
         items_considered,
+        outcome: MigrationOutcome::Completed,
+        transfer_retries: 0,
     })
 }
 
@@ -718,5 +1184,206 @@ mod tests {
         )
         .unwrap();
         assert!(r2.phases.dump > r1.phases.dump);
+    }
+
+    // ---- supervision -----------------------------------------------------
+
+    use elmem_sim::fault::FaultPlan;
+    use elmem_util::DetRng;
+
+    const NOW: SimTime = SimTime::from_secs(200_000);
+
+    fn injector(plan: FaultPlan) -> FaultInjector {
+        FaultInjector::new(plan, DetRng::seed(42).split("faults"))
+    }
+
+    fn supervised_run(
+        tier: &mut CacheTier,
+        faults: &mut FaultInjector,
+        deadlines: PhaseDeadlines,
+    ) -> MigrationReport {
+        let mut sup = Supervision::with_faults(faults);
+        sup.deadlines = deadlines;
+        migrate_scale_in_supervised(
+            tier,
+            &[NodeId(0)],
+            NOW,
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+            &mut sup,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unsupervised_outcome_is_completed() {
+        let (mut tier, _) = warmed_tier();
+        let report = migrate_scale_in(
+            &mut tier,
+            &[NodeId(0)],
+            NOW,
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+        )
+        .unwrap();
+        assert!(report.outcome.is_completed());
+        assert_eq!(report.transfer_retries, 0);
+        assert_eq!(report.outcome.crashed_node(), None);
+    }
+
+    #[test]
+    fn source_crash_in_phase1_aborts_without_imports() {
+        let (mut tier, _) = warmed_tier();
+        let crash_at = NOW + SimTime::from_millis(1);
+        let mut inj = injector(FaultPlan::new().crash(crash_at, NodeId(0)));
+        let report = supervised_run(&mut tier, &mut inj, PhaseDeadlines::none());
+        assert_eq!(
+            report.outcome,
+            MigrationOutcome::Aborted {
+                phase: MigrationPhase::MetadataTransfer,
+                cause: AbortCause::SourceCrashed(NodeId(0)),
+            }
+        );
+        assert_eq!(report.items_migrated, 0);
+        assert_eq!(report.completed, crash_at);
+        // The migration mutated no destination store.
+        for id in [1u32, 2, 3] {
+            let (fresh, _) = warmed_tier();
+            assert_eq!(
+                tier.node(NodeId(id)).unwrap().store.len(),
+                fresh.node(NodeId(id)).unwrap().store.len()
+            );
+        }
+    }
+
+    #[test]
+    fn destination_crash_in_phase3_keeps_partial_imports() {
+        // Learn the fault-free phase boundaries first.
+        let (mut probe, _) = warmed_tier();
+        let clean = migrate_scale_in(
+            &mut probe,
+            &[NodeId(0)],
+            NOW,
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+        )
+        .unwrap();
+        assert!(clean.phases.data_transfer > SimTime::ZERO);
+        let data_start = NOW
+            + clean.phases.scoring
+            + clean.phases.dump
+            + clean.phases.metadata_transfer
+            + clean.phases.fusecache;
+        // Crash the highest-numbered destination just inside the data
+        // window: moves to lower-numbered destinations land first.
+        let crash_at = data_start + SimTime::from_nanos(1);
+        let (mut tier, _) = warmed_tier();
+        let mut inj = injector(FaultPlan::new().crash(crash_at, NodeId(3)));
+        let report = supervised_run(&mut tier, &mut inj, PhaseDeadlines::none());
+        match report.outcome {
+            MigrationOutcome::Aborted { phase, cause } => {
+                assert_eq!(phase, MigrationPhase::DataMigration);
+                assert_eq!(cause, AbortCause::DestinationCrashed(NodeId(3)));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert!(
+            report.items_migrated > 0,
+            "imports to healthy destinations are kept"
+        );
+        assert!(report.items_migrated < clean.items_migrated);
+        assert_eq!(report.completed, crash_at);
+    }
+
+    #[test]
+    fn certain_drops_exhaust_retry_budget() {
+        let (mut tier, _) = warmed_tier();
+        let mut inj = injector(FaultPlan::new().drop_metadata_with_prob(1.0));
+        let report = supervised_run(&mut tier, &mut inj, PhaseDeadlines::none());
+        match report.outcome {
+            MigrationOutcome::Aborted { phase, cause } => {
+                assert_eq!(phase, MigrationPhase::MetadataTransfer);
+                assert_eq!(
+                    cause,
+                    AbortCause::TransferRetriesExhausted {
+                        source: NodeId(0),
+                        attempts: RetryPolicy::default().max_attempts,
+                    }
+                );
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(report.transfer_retries, RetryPolicy::default().max_attempts);
+        assert_eq!(report.items_migrated, 0);
+        // Each failed attempt still burned link time.
+        assert!(report.completed > NOW);
+    }
+
+    #[test]
+    fn occasional_drops_retry_and_complete() {
+        let (mut tier, _) = warmed_tier();
+        let mut inj = injector(
+            FaultPlan::new()
+                .drop_metadata_with_prob(0.3)
+                .drop_transfers_with_prob(0.15),
+        );
+        let report = supervised_run(&mut tier, &mut inj, PhaseDeadlines::none());
+        // With these probabilities and a budget of 4 per shipment, the
+        // seeded run completes after some retries.
+        assert!(report.outcome.is_completed(), "{:?}", report.outcome);
+        assert!(report.transfer_retries > 0);
+        // Retries push the timeline out past the fault-free run.
+        let (mut clean_tier, _) = warmed_tier();
+        let clean = migrate_scale_in(
+            &mut clean_tier,
+            &[NodeId(0)],
+            NOW,
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+        )
+        .unwrap();
+        assert!(report.completed > clean.completed);
+    }
+
+    #[test]
+    fn metadata_deadline_aborts() {
+        let (mut tier, _) = warmed_tier();
+        let mut inj = injector(FaultPlan::new());
+        let deadlines = PhaseDeadlines {
+            metadata: Some(SimTime::from_nanos(1)),
+            ..PhaseDeadlines::none()
+        };
+        let report = supervised_run(&mut tier, &mut inj, deadlines);
+        assert_eq!(
+            report.outcome,
+            MigrationOutcome::Aborted {
+                phase: MigrationPhase::MetadataTransfer,
+                cause: AbortCause::DeadlineExceeded,
+            }
+        );
+    }
+
+    #[test]
+    fn supervised_runs_are_deterministic() {
+        let run = || {
+            let (mut tier, _) = warmed_tier();
+            let mut inj = injector(
+                FaultPlan::new()
+                    .crash(NOW + SimTime::from_secs(3), NodeId(2))
+                    .drop_metadata_with_prob(0.4),
+            );
+            supervised_run(&mut tier, &mut inj, PhaseDeadlines::none())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.backoff(1), SimTime::from_millis(500));
+        assert_eq!(retry.backoff(2), SimTime::from_secs(1));
+        assert_eq!(retry.backoff(3), SimTime::from_secs(2));
+        assert_eq!(retry.backoff(10), SimTime::from_secs(8));
+        assert_eq!(retry.backoff(60), SimTime::from_secs(8));
     }
 }

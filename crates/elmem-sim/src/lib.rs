@@ -22,9 +22,11 @@
 //! ```
 
 pub mod events;
+pub mod fault;
 pub mod network;
 pub mod queueing;
 
 pub use events::EventQueue;
+pub use fault::{FaultAction, FaultInjector, FaultKind, FaultPlan, ScheduledFault};
 pub use network::Link;
 pub use queueing::ServerPool;

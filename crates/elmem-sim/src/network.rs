@@ -25,8 +25,11 @@ use elmem_util::{ByteSize, SimTime};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Link {
-    /// Bytes per second.
+    /// Bytes per second currently achievable (base divided by any active
+    /// slowdown).
     bandwidth: f64,
+    /// Nominal bytes per second, restored when a slowdown heals.
+    base_bandwidth: f64,
     /// Per-transfer propagation/setup latency.
     latency: SimTime,
     /// The instant the link frees up.
@@ -48,6 +51,7 @@ impl Link {
         );
         Link {
             bandwidth: bandwidth_bytes_per_sec,
+            base_bandwidth: bandwidth_bytes_per_sec,
             latency,
             busy_until: SimTime::ZERO,
             bytes_sent: 0,
@@ -85,9 +89,32 @@ impl Link {
         ByteSize(self.bytes_sent)
     }
 
-    /// Link bandwidth, bytes/s.
+    /// Link bandwidth, bytes/s (current, reflecting any active slowdown).
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth
+    }
+
+    /// Degrades the link to `1/factor` of its *base* bandwidth (fault
+    /// injection: a congested or flapping uplink). Repeated slowdowns
+    /// replace rather than compound each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not ≥ 1 and finite.
+    pub fn apply_slowdown(&mut self, factor: f64) {
+        assert!(factor >= 1.0 && factor.is_finite(), "invalid slowdown factor");
+        self.bandwidth = self.base_bandwidth / factor;
+    }
+
+    /// Heals any active slowdown, restoring the base bandwidth.
+    pub fn restore_bandwidth(&mut self) {
+        self.bandwidth = self.base_bandwidth;
+    }
+
+    /// Blocks the link until `until` (fault injection: a partition).
+    /// Transfers scheduled meanwhile queue behind the heal instant.
+    pub fn partition_until(&mut self, until: SimTime) {
+        self.busy_until = self.busy_until.max(until);
     }
 }
 
@@ -143,5 +170,36 @@ mod tests {
     #[should_panic]
     fn zero_bandwidth_rejected() {
         let _ = Link::new(0.0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn slowdown_scales_transfer_time_and_heals() {
+        let mut link = Link::new(1000.0, SimTime::ZERO);
+        link.apply_slowdown(4.0);
+        assert_eq!(link.transfer_time(ByteSize(1000)), SimTime::from_secs(4));
+        // A second slowdown replaces (not compounds) the first.
+        link.apply_slowdown(2.0);
+        assert_eq!(link.transfer_time(ByteSize(1000)), SimTime::from_secs(2));
+        link.restore_bandwidth();
+        assert_eq!(link.transfer_time(ByteSize(1000)), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn partition_delays_queued_transfers() {
+        let mut link = Link::new(1000.0, SimTime::ZERO);
+        link.partition_until(SimTime::from_secs(10));
+        let done = link.schedule_transfer(SimTime::ZERO, ByteSize(1000));
+        assert_eq!(done, SimTime::from_secs(11));
+        // Healing is implicit: after the partition instant, new transfers
+        // queue normally.
+        let later = link.schedule_transfer(SimTime::from_secs(20), ByteSize(1000));
+        assert_eq!(later, SimTime::from_secs(21));
+    }
+
+    #[test]
+    #[should_panic]
+    fn slowdown_below_one_rejected() {
+        let mut link = Link::gigabit();
+        link.apply_slowdown(0.9);
     }
 }

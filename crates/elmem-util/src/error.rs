@@ -17,6 +17,8 @@ use std::fmt;
 pub enum ElmemError {
     /// Referenced a node id that is not a member of the tier.
     UnknownNode(u32),
+    /// A node needed by an in-flight operation is crashed or offline.
+    NodeUnavailable(u32),
     /// An item is larger than the largest slab chunk and cannot be stored.
     ItemTooLarge {
         /// Total item footprint in bytes.
@@ -38,6 +40,7 @@ impl fmt::Display for ElmemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ElmemError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            ElmemError::NodeUnavailable(id) => write!(f, "node {id} is unavailable"),
             ElmemError::ItemTooLarge {
                 item_bytes,
                 max_chunk_bytes,

@@ -21,7 +21,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use elmem::core::{run_experiment, ExperimentConfig, MigrationPolicy, ScaleAction};
+//! use elmem::core::{run_experiment, ExperimentConfig, FaultPlan, MigrationPolicy, ScaleAction};
 //! use elmem::core::migration::MigrationCosts;
 //! use elmem::cluster::ClusterConfig;
 //! use elmem::workload::{DemandTrace, Keyspace, WorkloadConfig};
@@ -41,6 +41,7 @@
 //!     scheduled: vec![(SimTime::from_secs(15), ScaleAction::In { count: 1 })],
 //!     prefill_top_ranks: 5_000,
 //!     costs: MigrationCosts::default(),
+//!     faults: FaultPlan::new(),
 //!     seed: 42,
 //! };
 //! let result = run_experiment(config);

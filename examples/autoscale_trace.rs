@@ -6,7 +6,7 @@
 
 use elmem::cluster::ClusterConfig;
 use elmem::core::migration::MigrationCosts;
-use elmem::core::{run_experiment, AutoScalerConfig, ExperimentConfig, MigrationPolicy};
+use elmem::core::{run_experiment, AutoScalerConfig, ExperimentConfig, FaultPlan, MigrationPolicy};
 use elmem::util::SimTime;
 use elmem::workload::{GeneralizedPareto, Keyspace, TraceKind, WorkloadConfig};
 
@@ -40,6 +40,7 @@ fn main() {
         scheduled: vec![],
         prefill_top_ranks: 50_000,
         costs: MigrationCosts::default(),
+        faults: FaultPlan::new(),
         seed: 7,
         cluster,
     };

@@ -6,7 +6,7 @@
 
 use elmem::cluster::ClusterConfig;
 use elmem::core::migration::MigrationCosts;
-use elmem::core::{run_experiment, ExperimentConfig, MigrationPolicy, ScaleAction};
+use elmem::core::{run_experiment, ExperimentConfig, FaultPlan, MigrationPolicy, ScaleAction};
 use elmem::util::stats::degradation_summary;
 use elmem::util::SimTime;
 use elmem::workload::{DemandTrace, GeneralizedPareto, Keyspace, WorkloadConfig};
@@ -54,6 +54,7 @@ fn main() {
             scheduled: scheduled.clone(),
             prefill_top_ranks: 60_000,
             costs: MigrationCosts::default(),
+            faults: FaultPlan::new(),
             seed: 11,
         })
     };

@@ -1,0 +1,305 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`], [`BatchSize`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! simple wall-clock timer instead of criterion's statistical engine.
+//!
+//! Each benchmark is warmed up briefly, then timed over `sample_size`
+//! samples; the mean ns/iter (and derived throughput, when declared) is
+//! printed to stdout. Good enough to compare implementations by eye, with
+//! zero external dependencies.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched setup output is sized (accepted and ignored by the shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Declared work per iteration, used to derive a rate from the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendered with
+/// `Display`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: `&str`, `String`, or
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkName {
+    /// The rendered benchmark name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.full
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter*` call.
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to exceed a
+    /// minimum measurable window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that runs ≥ 1 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            count += iters;
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / count as f64;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        // Batched routines are assumed non-trivial; one setup+run per
+        // sample, with sample count scaled up for stability.
+        let samples = self.sample_size.max(10);
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            count += 1;
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / count as f64;
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2} Melem/s)", n as f64 / ns_per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.2} MiB/s)", n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} {ns_per_iter:>14.1} ns/iter{rate}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs a benchmark taking an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkName, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut bencher, input);
+        let full = format!("{}/{}", self.name, id.into_name());
+        report(&full, bencher.ns_per_iter, self.throughput);
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, id.into_name());
+        report(&full, bencher.ns_per_iter, self.throughput);
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&id.into_name(), bencher.ns_per_iter, None);
+    }
+}
+
+/// Bundles benchmark functions under one entry point, in either the
+/// positional (`criterion_group!(benches, f, g)`) or the configured
+/// (`name = ...; config = ...; targets = ...`) form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 100],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = work
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde`.
+//!
+//! Declares the `Serialize`/`Deserialize` traits (never implemented — the
+//! workspace derives them only as forward declarations and nothing bounds
+//! on them) and re-exports the no-op derive macros under the `derive`
+//! feature, mirroring real serde's layout.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations — nothing actually serializes (no `serde_json`, no trait
+//! bounds on `Serialize`/`Deserialize`). These derives therefore expand to
+//! nothing, which keeps every annotated type compiling without pulling the
+//! real proc-macro stack (syn/quote/proc-macro2) from the network.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]` attrs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]` attrs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

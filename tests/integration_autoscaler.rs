@@ -4,7 +4,7 @@
 
 use elmem::cluster::ClusterConfig;
 use elmem::core::migration::MigrationCosts;
-use elmem::core::{run_experiment, AutoScalerConfig, ExperimentConfig, MigrationPolicy};
+use elmem::core::{run_experiment, AutoScalerConfig, ExperimentConfig, FaultPlan, MigrationPolicy};
 use elmem::util::SimTime;
 use elmem::workload::{DemandTrace, Keyspace, WorkloadConfig};
 
@@ -28,6 +28,7 @@ fn config(trace: DemandTrace, peak_rate: f64, seed: u64) -> ExperimentConfig {
         scheduled: vec![],
         prefill_top_ranks: 15_000,
         costs: MigrationCosts::default(),
+        faults: FaultPlan::new(),
         seed,
         cluster,
     }

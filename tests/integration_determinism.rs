@@ -4,7 +4,7 @@
 
 use elmem::cluster::ClusterConfig;
 use elmem::core::migration::MigrationCosts;
-use elmem::core::{run_experiment, ExperimentConfig, MigrationPolicy, ScaleAction};
+use elmem::core::{run_experiment, ExperimentConfig, FaultPlan, MigrationPolicy, ScaleAction};
 use elmem::util::SimTime;
 use elmem::workload::{Keyspace, TraceKind, WorkloadConfig};
 
@@ -26,6 +26,7 @@ fn config(seed: u64) -> ExperimentConfig {
         ],
         prefill_top_ranks: 10_000,
         costs: MigrationCosts::default(),
+        faults: FaultPlan::new(),
         seed,
     }
 }

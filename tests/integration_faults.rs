@@ -1,0 +1,181 @@
+//! End-to-end fault injection: crashes landing in specific migration
+//! phases must abort cleanly — no panic, a correct
+//! `MigrationOutcome::Aborted`, and a consistent committed membership.
+
+use elmem::cluster::ClusterConfig;
+use elmem::core::migration::MigrationCosts;
+use elmem::core::{
+    run_experiment, AbortCause, ExperimentConfig, ExperimentResult, FaultPlan, MigrationOutcome,
+    MigrationPhase, MigrationPolicy, ScaleAction,
+};
+use elmem::util::{NodeId, SimTime};
+use elmem::workload::{DemandTrace, Keyspace, WorkloadConfig};
+
+fn config(faults: FaultPlan) -> ExperimentConfig {
+    ExperimentConfig {
+        cluster: ClusterConfig::small_test(),
+        workload: WorkloadConfig {
+            keyspace: Keyspace::new(30_000, 2),
+            zipf_exponent: 1.0,
+            items_per_request: 3,
+            peak_rate: 250.0,
+            trace: DemandTrace::new(vec![1.0; 13], SimTime::from_secs(10)),
+        },
+        policy: MigrationPolicy::elmem(),
+        autoscaler: None,
+        scheduled: vec![(SimTime::from_secs(40), ScaleAction::In { count: 1 })],
+        prefill_top_ranks: 15_000,
+        costs: MigrationCosts::default(),
+        faults,
+        seed: 2,
+    }
+}
+
+/// Fault-free probe: learns when the migration is decided, who retires,
+/// and how long each phase lasts — so the fault tests can aim a crash
+/// into a specific phase window.
+fn probe() -> (ExperimentResult, SimTime, NodeId, SimTime, SimTime) {
+    let result = run_experiment(config(FaultPlan::new()));
+    assert_eq!(result.events.len(), 1);
+    let ev = &result.events[0];
+    let report = ev.report.clone().expect("elmem migrates");
+    assert!(report.outcome.is_completed());
+    let victim = ev.nodes[0];
+    let phase1_end = ev.decided_at
+        + report.phases.scoring
+        + report.phases.dump
+        + report.phases.metadata_transfer;
+    let phase2_end = phase1_end + report.phases.fusecache;
+    assert!(
+        report.phases.data_transfer > SimTime::ZERO,
+        "probe must exercise phase 3"
+    );
+    let decided_at = ev.decided_at;
+    (result, decided_at, victim, phase1_end, phase2_end)
+}
+
+#[test]
+fn source_crash_in_phase1_aborts_and_commits_consistently() {
+    let (_, decided_at, victim, phase1_end, _) = probe();
+    // Land the crash halfway into the metadata window.
+    let crash_at = decided_at + (phase1_end - decided_at).mul_f64(0.5);
+    let result = run_experiment(config(FaultPlan::new().crash(crash_at, victim)));
+
+    assert_eq!(result.events.len(), 1);
+    let ev = &result.events[0];
+    let report = ev.report.as_ref().expect("report present on abort");
+    assert_eq!(
+        report.outcome,
+        MigrationOutcome::Aborted {
+            phase: MigrationPhase::MetadataTransfer,
+            cause: AbortCause::SourceCrashed(victim),
+        }
+    );
+    // Nothing was imported before the abort; the scaling committed at the
+    // crash instant by evicting the dead source.
+    assert_eq!(report.items_migrated, 0);
+    assert_eq!(ev.committed_at, crash_at);
+    assert_eq!(ev.to_nodes, 3);
+    assert_eq!(result.final_members, 3);
+}
+
+#[test]
+fn destination_crash_in_phase3_aborts_and_commits_consistently() {
+    let (_, decided_at, victim, _, phase2_end) = probe();
+    // A retained destination: the highest node id that is not retiring
+    // (moves are applied in ascending destination order, so earlier
+    // destinations get their imports before the abort).
+    let dest = (0..4u32)
+        .rev()
+        .map(NodeId)
+        .find(|&n| n != victim)
+        .unwrap();
+    // Land the crash just inside the data-migration window.
+    let crash_at = phase2_end + SimTime::from_nanos(1);
+    assert!(crash_at > decided_at);
+    let result = run_experiment(config(FaultPlan::new().crash(crash_at, dest)));
+
+    assert_eq!(result.events.len(), 1);
+    let ev = &result.events[0];
+    let report = ev.report.as_ref().expect("report present on abort");
+    assert_eq!(
+        report.outcome,
+        MigrationOutcome::Aborted {
+            phase: MigrationPhase::DataMigration,
+            cause: AbortCause::DestinationCrashed(dest),
+        }
+    );
+    // Partial imports to healthy destinations are kept.
+    assert!(report.items_migrated > 0);
+    assert_eq!(ev.committed_at, crash_at);
+    // Both the retiring source and the dead destination leave: 4 → 2.
+    assert_eq!(ev.to_nodes, 2);
+    assert_eq!(result.final_members, 2);
+}
+
+#[test]
+fn identical_seeds_give_bit_identical_faulty_timelines() {
+    let (_, decided_at, victim, phase1_end, _) = probe();
+    let crash_at = decided_at + (phase1_end - decided_at).mul_f64(0.5);
+    let plan = FaultPlan::new()
+        .crash(crash_at, victim)
+        .slow_link(SimTime::from_secs(10), NodeId(1), 4.0, SimTime::from_secs(30))
+        .drop_transfers_with_prob(0.2);
+    let a = run_experiment(config(plan.clone()));
+    let b = run_experiment(config(plan));
+    assert_eq!(a.timeline, b.timeline);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.final_members, b.final_members);
+    assert_eq!(a.total_requests, b.total_requests);
+}
+
+#[test]
+fn crashed_node_degrades_service_but_run_survives() {
+    // Crash a node with no scaling scheduled at all: the tier keeps the
+    // dead member (its gets become misses) and the run completes.
+    let mut cfg = config(FaultPlan::new().crash(SimTime::from_secs(30), NodeId(1)));
+    cfg.scheduled = vec![];
+    let faulty = run_experiment(cfg);
+    let mut clean_cfg = config(FaultPlan::new());
+    clean_cfg.scheduled = vec![];
+    let clean = run_experiment(clean_cfg);
+
+    assert_eq!(faulty.final_members, 4, "no control action: no eviction");
+    let post_miss = |r: &ExperimentResult| {
+        let pts: Vec<_> = r
+            .timeline
+            .iter()
+            .filter(|p| p.second >= 35 && p.requests > 0)
+            .collect();
+        1.0 - pts.iter().map(|p| p.hit_rate).sum::<f64>() / pts.len().max(1) as f64
+    };
+    assert!(
+        post_miss(&faulty) > post_miss(&clean),
+        "a dead node's keyspace slice must miss"
+    );
+}
+
+#[test]
+fn link_slowdown_stretches_migration() {
+    let (clean, decided_at, victim, _, _) = probe();
+    // Slow the retiring source's NIC 8x across the whole migration.
+    let plan = FaultPlan::new().slow_link(
+        SimTime::from_secs(35),
+        victim,
+        8.0,
+        SimTime::from_secs(200),
+    );
+    let slow = run_experiment(config(plan));
+    assert_eq!(slow.events.len(), 1);
+    let slow_ev = &slow.events[0];
+    let clean_ev = &clean.events[0];
+    assert_eq!(slow_ev.decided_at, decided_at);
+    assert!(
+        slow_ev.committed_at > clean_ev.committed_at,
+        "slowdown must delay the commit: {} vs {}",
+        slow_ev.committed_at,
+        clean_ev.committed_at
+    );
+    assert!(slow_ev.report.as_ref().unwrap().outcome.is_completed());
+    assert_eq!(slow.final_members, 3);
+}

@@ -4,7 +4,7 @@
 
 use elmem::cluster::ClusterConfig;
 use elmem::core::migration::MigrationCosts;
-use elmem::core::{run_experiment, ExperimentConfig, MigrationPolicy, ScaleAction};
+use elmem::core::{run_experiment, ExperimentConfig, FaultPlan, MigrationPolicy, ScaleAction};
 use elmem::util::stats::TimelinePoint;
 use elmem::util::SimTime;
 use elmem::workload::{DemandTrace, Keyspace, WorkloadConfig};
@@ -24,6 +24,7 @@ fn config(policy: MigrationPolicy, seed: u64) -> ExperimentConfig {
         scheduled: vec![(SimTime::from_secs(40), ScaleAction::In { count: 1 })],
         prefill_top_ranks: 15_000,
         costs: MigrationCosts::default(),
+        faults: FaultPlan::new(),
         seed,
     }
 }

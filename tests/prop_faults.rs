@@ -1,0 +1,93 @@
+//! Property test for the fault-injection layer: *any* small `FaultPlan` —
+//! arbitrary crash times and targets, link degradation, shipment-drop
+//! probabilities — must leave the tier consistent. The experiment never
+//! panics, the committed membership never empties, scaling events stay
+//! causally ordered, and the whole faulty timeline is bit-reproducible.
+
+use elmem::cluster::ClusterConfig;
+use elmem::core::migration::MigrationCosts;
+use elmem::core::{
+    run_experiment, ExperimentConfig, FaultPlan, MigrationPolicy, ScaleAction,
+};
+use elmem::util::{NodeId, SimTime};
+use elmem::workload::{DemandTrace, Keyspace, WorkloadConfig};
+use proptest::prelude::*;
+
+fn config(faults: FaultPlan, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        cluster: ClusterConfig::small_test(),
+        workload: WorkloadConfig {
+            keyspace: Keyspace::new(8_000, 3),
+            zipf_exponent: 1.0,
+            items_per_request: 3,
+            peak_rate: 150.0,
+            trace: DemandTrace::new(vec![1.0; 6], SimTime::from_secs(10)),
+        },
+        policy: MigrationPolicy::elmem(),
+        autoscaler: None,
+        scheduled: vec![(SimTime::from_secs(20), ScaleAction::In { count: 1 })],
+        prefill_top_ranks: 4_000,
+        costs: MigrationCosts::default(),
+        faults,
+        seed,
+    }
+}
+
+/// One generated fault: (kind selector, at-second, node, factor/duration).
+type RawFault = (u8, u64, u32, u64);
+
+fn build_plan(raw: &[RawFault], meta_drop: f64, data_drop: f64) -> FaultPlan {
+    let mut plan = FaultPlan::new()
+        .drop_metadata_with_prob(meta_drop)
+        .drop_transfers_with_prob(data_drop);
+    for &(kind, at_s, node, extra) in raw {
+        let at = SimTime::from_secs(at_s);
+        let node = NodeId(node);
+        plan = match kind % 3 {
+            0 => plan.crash(at, node),
+            1 => plan.slow_link(at, node, 2.0 + (extra % 14) as f64, SimTime::from_secs(10 + extra)),
+            _ => plan.partition(at, node, SimTime::from_secs(1 + extra % 20)),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn any_fault_plan_leaves_tier_consistent(
+        raw in prop::collection::vec(
+            (0u8..3, 0u64..60, 0u32..4, 0u64..30),
+            0..4,
+        ),
+        meta_drop in 0.0f64..0.4,
+        data_drop in 0.0f64..0.3,
+        seed in 0u64..50,
+    ) {
+        let plan = build_plan(&raw, meta_drop, data_drop);
+        let result = run_experiment(config(plan.clone(), seed));
+
+        // 1. The tier never empties: an abort fallback keeps ≥1 member.
+        prop_assert!(result.final_members >= 1);
+        prop_assert!(result.final_members <= 4);
+        prop_assert!(result.total_requests > 0);
+
+        // 2. Scaling events stay causally ordered, with sane node counts.
+        for ev in &result.events {
+            prop_assert!(ev.committed_at >= ev.decided_at);
+            prop_assert!(ev.to_nodes >= 1);
+            if let Some(report) = &ev.report {
+                prop_assert!(report.completed >= report.started);
+                // An aborted migration still reports a coherent item flow.
+                prop_assert!(report.items_migrated <= report.items_considered);
+            }
+        }
+
+        // 3. Bit-reproducibility: the same plan and seed replay the same
+        // timeline, event log, and membership.
+        let replay = run_experiment(config(plan, seed));
+        prop_assert_eq!(&result.timeline, &replay.timeline);
+        prop_assert_eq!(&result.events, &replay.events);
+        prop_assert_eq!(result.final_members, replay.final_members);
+    }
+}
