@@ -83,6 +83,7 @@ fn main() {
         prefill_top_ranks: PREFILL_RANKS,
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
+        healing: None,
         seed: 5,
     });
 

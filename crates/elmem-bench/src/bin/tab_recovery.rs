@@ -1,0 +1,195 @@
+//! **Robustness** — the self-healing tier after a node crash.
+//!
+//! Crashes one node of a warm, steady-state tier and compares three
+//! operating modes of the same deterministic run:
+//!
+//! * `no detector`   — the corpse stays in the ring; its keyspace slice
+//!   pays the client timeout until the circuit breaker opens, then fails
+//!   over fast to the database. Capacity is never restored.
+//! * `detect+evict`  — the heartbeat detector confirms the death within
+//!   the suspicion window and the Master evicts the corpse; survivors
+//!   absorb the slice but total capacity stays down one node.
+//! * `detect+warm`   — after eviction a replacement is warmed through the
+//!   supervised FuseCache migration before joining the ring: capacity is
+//!   restored and the hit rate climbs back to the pre-crash level.
+//!
+//! `--smoke` runs a seconds-long small-tier version of the same comparison
+//! for CI; the assertions (detection inside the suspicion window, tail
+//! hit-rate ordering warm > evict > none) hold in both modes.
+
+use elmem_bench::exp::laptop_experiment;
+use elmem_cluster::ClusterConfig;
+use elmem_core::migration::MigrationCosts;
+use elmem_core::{
+    run_experiment, ExperimentConfig, ExperimentResult, FaultPlan, HealingConfig, MigrationPolicy,
+};
+use elmem_util::stats::hit_rate_recovery_secs;
+use elmem_util::{NodeId, SimTime};
+use elmem_workload::{DemandTrace, Keyspace, TraceKind, WorkloadConfig};
+
+const SEED: u64 = 7;
+
+/// How long the hit rate must hold the target to count as recovered.
+const SUSTAIN_SECS: usize = 20;
+
+/// Recovered = back to this fraction of the pre-crash hit rate.
+const RECOVERY_FRACTION: f64 = 0.97;
+
+/// One crash scenario: where the crash lands and how the run is sliced.
+struct Scenario {
+    crash_s: u64,
+    /// Tail window `[from, to)` for the steady-state comparison, chosen
+    /// after every recovery mode has settled.
+    tail_from: u64,
+    tail_to: u64,
+}
+
+fn full_experiment(healing: Option<HealingConfig>) -> (ExperimentConfig, Scenario) {
+    let scenario = Scenario {
+        crash_s: 120,
+        tail_from: 240,
+        tail_to: 420,
+    };
+    let mut cfg = laptop_experiment(
+        TraceKind::FacebookEtc,
+        10,
+        MigrationPolicy::elmem(),
+        vec![],
+        SEED,
+    );
+    // Steady demand: the only event in the run is the crash.
+    cfg.workload.trace = DemandTrace::new(vec![1.0; 7], SimTime::from_secs(60));
+    cfg.faults = FaultPlan::new().crash(SimTime::from_secs(scenario.crash_s), NodeId(3));
+    cfg.healing = healing;
+    (cfg, scenario)
+}
+
+fn smoke_experiment(healing: Option<HealingConfig>) -> (ExperimentConfig, Scenario) {
+    let scenario = Scenario {
+        crash_s: 30,
+        tail_from: 70,
+        tail_to: 130,
+    };
+    let cfg = ExperimentConfig {
+        cluster: ClusterConfig::small_test(),
+        workload: WorkloadConfig {
+            keyspace: Keyspace::new(30_000, 2),
+            zipf_exponent: 1.0,
+            items_per_request: 3,
+            peak_rate: 250.0,
+            trace: DemandTrace::new(vec![1.0; 13], SimTime::from_secs(10)),
+        },
+        policy: MigrationPolicy::elmem(),
+        autoscaler: None,
+        scheduled: vec![],
+        prefill_top_ranks: 15_000,
+        costs: MigrationCosts::default(),
+        faults: FaultPlan::new().crash(SimTime::from_secs(scenario.crash_s), NodeId(1)),
+        healing,
+        seed: 2,
+    };
+    (cfg, scenario)
+}
+
+/// Mean per-second hit rate over `[from, to)`.
+fn mean_hit_rate(r: &ExperimentResult, from: u64, to: u64) -> f64 {
+    let pts: Vec<_> = r
+        .timeline
+        .iter()
+        .filter(|p| p.second >= from && p.second < to && p.requests > 0)
+        .collect();
+    pts.iter().map(|p| p.hit_rate).sum::<f64>() / pts.len().max(1) as f64
+}
+
+fn row(label: &str, r: &ExperimentResult, s: &Scenario) {
+    let (detect, recovered) = match r.recoveries.first() {
+        Some(rec) => (
+            rec.detection_latency()
+                .map(|d| format!("{d}"))
+                .unwrap_or_else(|| "-".to_string()),
+            format!("{}", rec.recovered_at),
+        ),
+        None => ("-".to_string(), "-".to_string()),
+    };
+    let pre = mean_hit_rate(r, s.crash_s / 2, s.crash_s);
+    let recovery = hit_rate_recovery_secs(
+        &r.timeline,
+        s.crash_s,
+        pre * RECOVERY_FRACTION,
+        SUSTAIN_SECS,
+    )
+    .map(|v| format!("{v}s"))
+    .unwrap_or_else(|| "never".to_string());
+    println!(
+        "{label:<14} members={}  timeouts={:>6}  fast_fo={:>7}  breaker_flips={:>3}  \
+         detect={detect:<9}  recovered_at={recovered:<9}  pre_hit={pre:>6.4}  tail_hit={:>6.4}  \
+         hit_restore={recovery}",
+        r.final_members,
+        r.client_timeouts,
+        r.fast_failovers,
+        r.breaker_transitions,
+        mean_hit_rate(r, s.tail_from, s.tail_to),
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let make = if smoke { smoke_experiment } else { full_experiment };
+    println!(
+        "== Tab (self-healing): crash detection, eviction, warmed replacement{} ==\n",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let (cfg, scenario) = make(None);
+    let none = run_experiment(cfg);
+    let evict = run_experiment(make(Some(HealingConfig::evict_only())).0);
+    let warm = run_experiment(make(Some(HealingConfig::warm_replacement())).0);
+
+    row("no detector", &none, &scenario);
+    row("detect+evict", &evict, &scenario);
+    row("detect+warm", &warm, &scenario);
+
+    // The claims the table is built on, checked on every run (CI runs the
+    // smoke version): detection lands inside the suspicion window and the
+    // tail hit rates order warm > evict > none.
+    assert!(none.recoveries.is_empty() && none.probes_sent == 0);
+    for r in [&evict, &warm] {
+        let rec = r.recoveries.first().expect("crash detected");
+        let d = HealingConfig::evict_only().detector;
+        let window =
+            (d.probe_interval + d.jitter) * u64::from(d.suspicion_threshold + 1);
+        let latency = rec.detection_latency().expect("crash time known");
+        assert!(
+            latency <= window,
+            "detection took {latency}, suspicion window is {window}"
+        );
+    }
+    let tail = |r: &ExperimentResult| mean_hit_rate(r, scenario.tail_from, scenario.tail_to);
+    assert!(
+        tail(&warm) > tail(&evict) && tail(&evict) > tail(&none),
+        "tail hit rates must order warm > evict > none ({:.4} / {:.4} / {:.4})",
+        tail(&warm),
+        tail(&evict),
+        tail(&none)
+    );
+
+    println!(
+        "\nInterpretation: without a detector the dead node keeps its arc of \
+         the ring — every lookup that hashes there pays the client timeout \
+         until the breaker opens ({} timeouts, {} fast failovers) and the \
+         lost capacity never returns. Detection confirms the crash in \
+         {} and eviction stops the timeout bleed, but the tier stays one \
+         node short. The warmed replacement refills the hottest keys through \
+         FuseCache before joining, so the hit rate is restored toward the \
+         pre-crash level while evict-only settles lower and the unhealed \
+         tier lower still. The warm-vs-evict gap widens as capacity binds: \
+         with a Zipf tail a 10-node tier barely misses one node's worth of \
+         mass, while the small smoke tier never reclaims the pre-crash hit \
+         rate on eviction alone.",
+        none.client_timeouts,
+        none.fast_failovers,
+        warm.recoveries[0]
+            .detection_latency()
+            .expect("crash time known"),
+    );
+}

@@ -2,7 +2,7 @@
 //! shrink of the paper's testbed that preserves the ratios that drive the
 //! dynamics) and result formatting.
 
-use elmem_cluster::ClusterConfig;
+use elmem_cluster::{BreakerConfig, ClusterConfig};
 use elmem_core::migration::MigrationCosts;
 use elmem_core::{ExperimentConfig, ExperimentResult, FaultPlan, MigrationPolicy, ScaleAction};
 use elmem_util::stats::{degradation_summary, DegradationSummary, TimelinePoint};
@@ -43,6 +43,8 @@ pub fn laptop_cluster(initial_nodes: u32) -> ClusterConfig {
         db_service: SimTime::from_millis(6),
         db_shed_delay: SimTime::from_secs(2),
         mc_latency: SimTime::from_micros(200),
+        client_timeout: SimTime::from_millis(250),
+        breaker: BreakerConfig::default(),
         web_overhead: SimTime::from_millis(4),
         nic_bandwidth: 125_000_000.0,
         nic_latency: SimTime::from_micros(100),
@@ -78,6 +80,7 @@ pub fn laptop_experiment(
         prefill_top_ranks: PREFILL_RANKS,
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
+        healing: None,
         seed,
     }
 }
@@ -198,7 +201,14 @@ mod tests {
                 report: None,
             }],
             final_members: 3,
+            final_crashed_members: 0,
             total_requests: 10_000,
+            recoveries: vec![],
+            client_timeouts: 0,
+            fast_failovers: 0,
+            breaker_transitions: 0,
+            probes_sent: 0,
+            detector_transitions: 0,
         }
     }
 

@@ -3,6 +3,8 @@
 use elmem_store::SizeClasses;
 use elmem_util::{ByteSize, SimTime};
 
+use crate::breaker::BreakerConfig;
+
 /// Parameters of the simulated deployment.
 ///
 /// The defaults in [`ClusterConfig::paper_scale`] mirror the paper's
@@ -31,6 +33,14 @@ pub struct ClusterConfig {
     pub db_shed_delay: SimTime,
     /// Mean Memcached get latency on a hit.
     pub mc_latency: SimTime,
+    /// Client-side cache timeout: what a lookup against a dead or
+    /// partitioned node costs before the client falls back to the
+    /// database (real Memcached clients block for their socket timeout on
+    /// an unreachable server; see §V-A's client library).
+    pub client_timeout: SimTime,
+    /// Per-node circuit breaker tripped by `client_timeout` failures;
+    /// while open, lookups fail over to the database immediately.
+    pub breaker: BreakerConfig,
     /// Fixed web-tier processing overhead added to each request's RT
     /// (PHP parse + response assembly in the paper's stack).
     pub web_overhead: SimTime,
@@ -57,6 +67,8 @@ impl ClusterConfig {
             db_service: SimTime::from_millis(2),
             db_shed_delay: SimTime::from_secs(2),
             mc_latency: SimTime::from_micros(200),
+            client_timeout: SimTime::from_millis(250),
+            breaker: BreakerConfig::default(),
             web_overhead: SimTime::from_millis(4),
             nic_bandwidth: 125_000_000.0,
             nic_latency: SimTime::from_micros(100),
@@ -76,6 +88,8 @@ impl ClusterConfig {
             db_service: SimTime::from_millis(8),
             db_shed_delay: SimTime::from_secs(2),
             mc_latency: SimTime::from_micros(200),
+            client_timeout: SimTime::from_millis(250),
+            breaker: BreakerConfig::default(),
             web_overhead: SimTime::from_millis(4),
             nic_bandwidth: 125_000_000.0,
             nic_latency: SimTime::from_micros(100),
@@ -94,6 +108,8 @@ impl ClusterConfig {
             db_service: SimTime::from_millis(4),
             db_shed_delay: SimTime::from_secs(2),
             mc_latency: SimTime::from_micros(200),
+            client_timeout: SimTime::from_millis(250),
+            breaker: BreakerConfig::default(),
             web_overhead: SimTime::from_millis(4),
             nic_bandwidth: 125_000_000.0,
             nic_latency: SimTime::from_micros(100),

@@ -1,9 +1,12 @@
 //! The web tier's serving path: multi-get, miss handling, response times.
 
+use std::collections::BTreeMap;
+
 use elmem_hash::HashRing;
 use elmem_util::{DetRng, KeyId, NodeId, SimTime};
 use elmem_workload::{Keyspace, WebRequest};
 
+use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::config::ClusterConfig;
 use crate::db::DbModel;
 use crate::tier::CacheTier;
@@ -35,6 +38,13 @@ impl RequestOutcome {
 /// database (absorbing its queueing delay) and the fetched pair is inserted
 /// into the responsible cache node, "possibly leading to evictions" (§V-A).
 ///
+/// A `get` routed to a node that cannot answer — crashed, powered off, or
+/// inside a NIC partition window — costs the client its configured
+/// `client_timeout` before falling back to the database. A per-node
+/// [`CircuitBreaker`] bounds that price: after a streak of timeouts the
+/// breaker opens and subsequent lookups fail over immediately, re-probing
+/// the node once per cooldown.
+///
 /// For the CacheScale comparator (§V-B4), a *secondary ring* can be armed:
 /// misses on the primary retry on the secondary's node; secondary hits are
 /// *promoted* (migrated) to the primary node.
@@ -49,6 +59,9 @@ pub struct Cluster {
     secondary: Option<HashRing>,
     promoted: u64,
     secondary_hits: u64,
+    breakers: BTreeMap<NodeId, CircuitBreaker>,
+    client_timeouts: u64,
+    fast_failovers: u64,
 }
 
 impl Cluster {
@@ -68,6 +81,9 @@ impl Cluster {
             secondary: None,
             promoted: 0,
             secondary_hits: 0,
+            breakers: BTreeMap::new(),
+            client_timeouts: 0,
+            fast_failovers: 0,
         }
     }
 
@@ -105,36 +121,75 @@ impl Cluster {
     }
 
     /// One cache lookup with fill-on-miss; returns (latency, hit).
+    ///
+    /// An unreachable owner (crashed, powered off, partitioned) or one so
+    /// slow-linked that a get would outlast `client_timeout` goes through
+    /// [`Self::failover`]: the client pays the timeout (unless the node's
+    /// breaker is already open) and fetches from the database instead.
     pub fn lookup_and_fill(&mut self, key: KeyId, now: SimTime) -> (SimTime, bool) {
-        let primary = self.tier.node_for_key(key);
-        if let Some(node_id) = primary {
-            let hit = {
-                let node = self.tier.node_mut(node_id).expect("member node exists");
-                node.is_online() && node.store.get(key, now).is_some()
-            };
-            if hit {
-                return (self.mc_latency(), true);
-            }
-            // CacheScale path: retry on the secondary (retiring) nodes.
-            if let Some(promoted) = self.try_secondary(key, node_id, now) {
-                return (promoted, true);
-            }
-            // Miss: fetch from the database and fill the cache. A shed
-            // fetch (database overloaded) returns no data: the client eats
-            // the timeout and nothing is cached.
-            let fetch = self.db.fetch(now);
-            if fetch.is_served() {
-                let size = self.keyspace.value_size(key);
-                let node = self.tier.node_mut(node_id).expect("member node exists");
-                if node.is_online() {
-                    let _ = node.store.set(key, size, now);
-                }
-            }
-            (fetch.completion() - now + self.mc_latency(), false)
-        } else {
+        let Some(node_id) = self.tier.node_for_key(key) else {
             // No cache tier at all: straight to the database.
-            (self.db.fetch(now).completion() - now, false)
+            return (self.db.fetch(now).completion() - now, false);
+        };
+        let timeout = self.tier.config().client_timeout;
+        let (reachable, slowdown) = {
+            let node = self.tier.node(node_id).expect("member node exists");
+            (node.is_reachable(now), node.link.slowdown_factor())
+        };
+        // A degraded NIC stretches the get by the link's slowdown factor;
+        // past the client timeout the node is as good as dead.
+        let cache_latency = self.mc_latency().mul_f64(slowdown);
+        if !reachable || cache_latency >= timeout {
+            return (self.failover(node_id, now), false);
         }
+        self.breaker(node_id).record_success(now);
+        let hit = {
+            let node = self.tier.node_mut(node_id).expect("member node exists");
+            node.store.get(key, now).is_some()
+        };
+        if hit {
+            return (cache_latency, true);
+        }
+        // CacheScale path: retry on the secondary (retiring) nodes.
+        if let Some(promoted) = self.try_secondary(key, node_id, now) {
+            return (promoted, true);
+        }
+        // Miss: fetch from the database and fill the cache. A shed
+        // fetch (database overloaded) returns no data: the client eats
+        // the timeout and nothing is cached.
+        let fetch = self.db.fetch(now);
+        if fetch.is_served() {
+            let size = self.keyspace.value_size(key);
+            let node = self.tier.node_mut(node_id).expect("member node exists");
+            let _ = node.store.set(key, size, now);
+        }
+        (fetch.completion() - now + cache_latency, false)
+    }
+
+    /// A lookup whose owner cannot answer. With the breaker closed the
+    /// client blocks for its full `client_timeout` before going to the
+    /// database (the fetch starts only once it gives up); with the breaker
+    /// open it fails over immediately.
+    fn failover(&mut self, node_id: NodeId, now: SimTime) -> SimTime {
+        let timeout = self.tier.config().client_timeout;
+        let breaker = self.breaker(node_id);
+        let charged = if breaker.allows(now) {
+            breaker.record_failure(now);
+            self.client_timeouts += 1;
+            timeout
+        } else {
+            self.fast_failovers += 1;
+            SimTime::ZERO
+        };
+        let fetch = self.db.fetch(now + charged);
+        fetch.completion() - now
+    }
+
+    fn breaker(&mut self, node_id: NodeId) -> &mut CircuitBreaker {
+        let config = self.tier.config().breaker;
+        self.breakers
+            .entry(node_id)
+            .or_insert_with(|| CircuitBreaker::new(config))
     }
 
     fn try_secondary(&mut self, key: KeyId, primary: NodeId, now: SimTime) -> Option<SimTime> {
@@ -145,7 +200,7 @@ impl Cluster {
         }
         let item = {
             let node = self.tier.node_mut(sec_node).ok()?;
-            if !node.is_online() {
+            if !node.is_reachable(now) {
                 return None;
             }
             node.store.get(key, now)?
@@ -190,6 +245,28 @@ impl Cluster {
     /// Secondary-cache hits (CacheScale metric).
     pub fn secondary_hits(&self) -> u64 {
         self.secondary_hits
+    }
+
+    /// Lookups that paid the full `client_timeout` against an unreachable
+    /// node.
+    pub fn client_timeouts(&self) -> u64 {
+        self.client_timeouts
+    }
+
+    /// Lookups that failed over to the database immediately because the
+    /// node's breaker was open.
+    pub fn fast_failovers(&self) -> u64 {
+        self.fast_failovers
+    }
+
+    /// Total breaker state transitions across all nodes (flap metric).
+    pub fn breaker_transitions(&self) -> u64 {
+        self.breakers.values().map(|b| b.transitions()).sum()
+    }
+
+    /// The breaker state for one node, if any request ever touched it.
+    pub fn breaker_state(&self, node_id: NodeId) -> Option<BreakerState> {
+        self.breakers.get(&node_id).map(|b| b.state())
     }
 
     /// Pre-fills caches by directly setting keys on their current owners
@@ -323,5 +400,88 @@ mod tests {
         let out = c.handle(&req(0, &[]));
         assert_eq!(out.lookups, 0);
         assert_eq!(out.rt, c.tier.config().web_overhead);
+    }
+
+    /// A key owned by the given node, found by scanning key ids.
+    fn key_on(c: &Cluster, node: NodeId) -> u64 {
+        (0..10_000)
+            .find(|&k| c.tier.node_for_key(KeyId(k)) == Some(node))
+            .expect("some key hashes to the node")
+    }
+
+    #[test]
+    fn crashed_node_lookup_pays_the_client_timeout() {
+        let mut c = cluster();
+        let k = key_on(&c, NodeId(0));
+        c.tier.crash(NodeId(0)).unwrap();
+        let (latency, hit) = c.lookup_and_fill(KeyId(k), SimTime::from_secs(1));
+        assert!(!hit);
+        assert!(
+            latency >= c.tier.config().client_timeout,
+            "dead-node lookup must cost at least the timeout, got {latency:?}"
+        );
+        assert_eq!(c.client_timeouts(), 1);
+    }
+
+    #[test]
+    fn breaker_opens_and_failover_becomes_fast() {
+        let mut c = cluster();
+        let k = key_on(&c, NodeId(0));
+        c.tier.crash(NodeId(0)).unwrap();
+        let timeout = c.tier.config().client_timeout;
+        let threshold = c.tier.config().breaker.threshold as u64;
+        for i in 0..threshold {
+            c.lookup_and_fill(KeyId(k), SimTime::from_secs(i));
+        }
+        assert_eq!(c.breaker_state(NodeId(0)), Some(BreakerState::Open));
+        // Next lookup inside the cooldown: no timeout paid.
+        let (latency, _) = c.lookup_and_fill(KeyId(k), SimTime::from_secs(threshold));
+        assert!(latency < timeout, "open breaker must fail over fast");
+        assert_eq!(c.fast_failovers(), 1);
+        assert_eq!(c.client_timeouts(), threshold);
+    }
+
+    #[test]
+    fn half_open_probe_closes_breaker_after_heal() {
+        let mut c = cluster();
+        let k = key_on(&c, NodeId(0));
+        let cooldown = c.tier.config().breaker.cooldown;
+        c.tier
+            .node_mut(NodeId(0))
+            .unwrap()
+            .link
+            .partition_until(SimTime::from_secs(2));
+        for i in 0..3 {
+            c.lookup_and_fill(KeyId(k), SimTime::from_millis(i));
+        }
+        assert_eq!(c.breaker_state(NodeId(0)), Some(BreakerState::Open));
+        // Partition healed and cooldown elapsed: the probe succeeds.
+        let probe_at = SimTime::from_secs(2) + cooldown;
+        let (_, _) = c.lookup_and_fill(KeyId(k), probe_at);
+        assert_eq!(c.breaker_state(NodeId(0)), Some(BreakerState::Closed));
+        // Back to normal service afterwards.
+        let (latency, _) = c.lookup_and_fill(KeyId(k), probe_at + SimTime::from_secs(1));
+        assert!(latency < c.tier.config().client_timeout);
+    }
+
+    #[test]
+    fn slow_link_stretches_hit_latency() {
+        let mut c = cluster();
+        c.prefill((0..1000).map(KeyId), SimTime::ZERO);
+        let k = key_on(&c, NodeId(0));
+        let (fast, hit) = c.lookup_and_fill(KeyId(k), SimTime::from_secs(1));
+        assert!(hit);
+        // Degrade the owner's NIC 50x: hits still land but cost more.
+        c.tier
+            .node_mut(NodeId(0))
+            .unwrap()
+            .link
+            .apply_slowdown(50.0);
+        let (slow, hit) = c.lookup_and_fill(KeyId(k), SimTime::from_secs(2));
+        assert!(hit, "a slow link degrades, it does not kill");
+        assert!(
+            slow > fast * 5,
+            "50x slowdown must be visible in hit latency ({fast:?} -> {slow:?})"
+        );
     }
 }

@@ -32,12 +32,14 @@
 //! assert_eq!(outcome.lookups, 2);
 //! ```
 
+pub mod breaker;
 pub mod config;
 pub mod db;
 pub mod frontend;
 pub mod node;
 pub mod tier;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use config::ClusterConfig;
 pub use db::DbModel;
 pub use frontend::{Cluster, RequestOutcome};

@@ -77,6 +77,13 @@ impl CacheNode {
         self.health == NodeHealth::Crashed
     }
 
+    /// Whether a client request can reach the node at `now`: powered on,
+    /// not crashed, and its NIC not inside an injected partition window.
+    /// An unreachable node costs the client its full timeout.
+    pub fn is_reachable(&self, now: SimTime) -> bool {
+        self.online && !self.link.is_partitioned(now)
+    }
+
     /// Powers the node off (scale-in directive from the Master). The store
     /// contents are dropped — a turned-off cache node's DRAM is gone.
     ///
@@ -150,6 +157,22 @@ mod tests {
         // Still reported crashed, not cleanly powered off.
         assert!(n.is_crashed());
         assert!(!n.is_online());
+    }
+
+    #[test]
+    fn partition_makes_node_unreachable_until_heal() {
+        let mut n = CacheNode::new(
+            NodeId(4),
+            StoreConfig::with_memory(elmem_util::ByteSize::from_mib(4)),
+            1e9,
+            SimTime::from_micros(10),
+        );
+        assert!(n.is_reachable(SimTime::ZERO));
+        n.link.partition_until(SimTime::from_secs(5));
+        assert!(!n.is_reachable(SimTime::from_secs(2)));
+        assert!(n.is_reachable(SimTime::from_secs(5)), "partition healed");
+        // The store itself is intact: only reachability was lost.
+        assert!(n.is_online());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use elmem_util::{DetRng, NodeId, SimTime};
 use elmem_workload::{RequestGenerator, WorkloadConfig};
 
 use crate::autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
+use crate::healing::{ConfirmedDeath, FailureDetector, HealingConfig, RecoveryEvent};
 use crate::master::{DeferredKind, Master};
 use crate::predictive::{PredictiveAutoScaler, PredictiveConfig};
 use crate::migration::{MigrationCosts, MigrationReport, Supervision};
@@ -75,6 +76,10 @@ pub struct ExperimentConfig {
     /// Faults to inject (crashes, link degradation, shipment drops);
     /// [`FaultPlan::new`] injects nothing.
     pub faults: FaultPlan,
+    /// Self-healing: heartbeat failure detection plus automatic recovery.
+    /// `None` leaves crashed nodes in the ring (every lookup against them
+    /// pays the client timeout until the breaker opens).
+    pub healing: Option<HealingConfig>,
     /// Master seed.
     pub seed: u64,
 }
@@ -88,8 +93,25 @@ pub struct ExperimentResult {
     pub events: Vec<ScalingEvent>,
     /// Member count at the end.
     pub final_members: u32,
+    /// Members still crashed-but-in-the-ring at the end (0 whenever the
+    /// self-healing loop ran and converged).
+    pub final_crashed_members: u32,
     /// Web requests served.
     pub total_requests: u64,
+    /// Recoveries executed by the self-healing loop, in confirmation order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Lookups that paid the full client timeout against an unreachable
+    /// node.
+    pub client_timeouts: u64,
+    /// Lookups that failed over to the database immediately on an open
+    /// breaker.
+    pub fast_failovers: u64,
+    /// Circuit-breaker state transitions across all nodes.
+    pub breaker_transitions: u64,
+    /// Heartbeat probes the failure detector sent (0 without healing).
+    pub probes_sent: u64,
+    /// Failure-detector state transitions (flap metric; 0 without healing).
+    pub detector_transitions: u64,
 }
 
 impl ExperimentResult {
@@ -160,6 +182,64 @@ impl ScalerInstance {
     }
 }
 
+/// An event on the driver's control queue: a deferred Master action, or a
+/// heartbeat round of the failure detector.
+#[derive(Debug, Clone)]
+enum ControlEvent {
+    Deferred(DeferredKind),
+    Heartbeat,
+}
+
+/// Runs any recovery owed for confirmed deaths, unless the Master is mid
+/// scaling — a recovery never races an in-flight supervised migration; it
+/// waits for the next control tick after `busy_until`. (A crash *inside*
+/// such a migration is already handled by the migration's own abort path.)
+#[allow(clippy::too_many_arguments)]
+fn try_recover(
+    cluster: &mut Cluster,
+    master: &mut Master,
+    healing: &HealingConfig,
+    pending: &mut Vec<ConfirmedDeath>,
+    now: SimTime,
+    control: &mut EventQueue<ControlEvent>,
+    recoveries: &mut Vec<RecoveryEvent>,
+    injector: &mut FaultInjector,
+) {
+    if pending.is_empty() || !master.is_idle(now) {
+        return;
+    }
+    let deaths = std::mem::take(pending);
+    let dead: Vec<NodeId> = deaths.iter().map(|d| d.node).collect();
+    let mut supervision = Supervision::with_faults(injector);
+    let orch = match master.recover_supervised(cluster, &dead, now, healing, &mut supervision) {
+        Ok(orch) => orch,
+        // Recovery could not admit replacements (e.g. nothing left to
+        // migrate from); the eviction still happened, record it as such.
+        Err(_) => crate::master::Orchestration {
+            nodes: vec![],
+            report: None,
+            deferred: vec![],
+            committed_at: now,
+        },
+    };
+    for deferred in &orch.deferred {
+        control.schedule(deferred.at, ControlEvent::Deferred(deferred.kind.clone()));
+    }
+    // One replacement per death, paired in order (empty for evict-only).
+    for (i, death) in deaths.iter().enumerate() {
+        let replacement = orch.nodes.get(i).copied();
+        recoveries.push(RecoveryEvent {
+            node: death.node,
+            crashed_at: injector.crash_time(death.node),
+            suspected_at: death.suspected_at,
+            confirmed_at: death.confirmed_at,
+            replacement,
+            recovered_at: orch.committed_at,
+            warmed: healing.warmup && replacement.is_some(),
+        });
+    }
+}
+
 /// Runs one experiment to completion. Deterministic in `config.seed`.
 pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
     let rng = DetRng::seed(config.seed);
@@ -183,28 +263,68 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
 
     let mut autoscaler = config.autoscaler.as_ref().map(ScalerInstance::new);
     let mut injector = FaultInjector::new(config.faults.clone(), rng.split("faults"));
-    let mut control: EventQueue<DeferredKind> = EventQueue::new();
+    let mut control: EventQueue<ControlEvent> = EventQueue::new();
     let mut scheduled = config.scheduled.clone();
     scheduled.sort_by_key(|(t, _)| *t);
     let mut scheduled_idx = 0usize;
+
+    let mut detector = config
+        .healing
+        .as_ref()
+        .map(|h| FailureDetector::new(h.detector, rng.split("heartbeat")));
+    if let Some(det) = detector.as_mut() {
+        control.schedule(det.next_round_after(SimTime::ZERO), ControlEvent::Heartbeat);
+    }
+    let mut pending_dead: Vec<ConfirmedDeath> = Vec::new();
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
 
     let mut recorder = TimelineRecorder::new();
     let mut events: Vec<ScalingEvent> = Vec::new();
     let mut lookups_since = 0u64;
     let mut rate_anchor = SimTime::ZERO;
+    let mut last_now = SimTime::ZERO;
 
     while let Some(req) = gen.next_request() {
         let now = req.arrival;
+        last_now = now;
 
-        // 1. Inject faults that have come due (before control events at the
-        // same instant: a crash beats the commit racing it), then apply
-        // control events.
-        for (_, action) in injector.due(now) {
-            apply_fault(&mut cluster, &action);
-        }
-        while control.peek_time().is_some_and(|t| t <= now) {
-            let (_, ev) = control.pop().expect("peeked");
-            Master::apply(&mut cluster, &ev);
+        // 1. Advance the control plane to `now`: injected faults, deferred
+        // Master actions, and heartbeat rounds interleave in time order.
+        // A fault due at the same instant as a control event lands first —
+        // a crash beats the commit (or the probe) racing it.
+        loop {
+            let fault_t = injector.peek_time().filter(|&t| t <= now);
+            let control_t = control.peek_time().filter(|&t| t <= now);
+            match (fault_t, control_t) {
+                (None, None) => break,
+                (Some(tf), tc) if tc.is_none_or(|tc| tf <= tc) => {
+                    for (_, action) in injector.due(tf) {
+                        apply_fault(&mut cluster, &action);
+                    }
+                }
+                _ => {
+                    let (at, ev) = control.pop().expect("peeked");
+                    match ev {
+                        ControlEvent::Deferred(kind) => Master::apply(&mut cluster, &kind),
+                        ControlEvent::Heartbeat => {
+                            let det = detector.as_mut().expect("heartbeats imply a detector");
+                            pending_dead.extend(det.probe_round(&cluster, at));
+                            control.schedule(det.next_round_after(at), ControlEvent::Heartbeat);
+                            let healing = config.healing.as_ref().expect("detector implies healing");
+                            try_recover(
+                                &mut cluster,
+                                &mut master,
+                                healing,
+                                &mut pending_dead,
+                                at,
+                                &mut control,
+                                &mut recoveries,
+                                &mut injector,
+                            );
+                        }
+                    }
+                }
+            }
         }
 
         // 2. Scripted actions.
@@ -272,19 +392,85 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
     }
 
     // Drain remaining control events so membership reflects every decision
-    // (faults scheduled before the last commit must land first).
+    // (faults scheduled before the last commit must land first). With
+    // healing, the detector keeps probing for a bounded settle window past
+    // the last request, so a crash near the end is still confirmed and
+    // recovered rather than left as a corpse in the final membership.
+    let settle_until = match &detector {
+        Some(det) => {
+            let d = det.config();
+            last_now + (d.probe_interval + d.jitter) * u64::from(d.suspicion_threshold + 2)
+        }
+        None => last_now,
+    };
+    let mut drain_end = last_now;
     while let Some((at, ev)) = control.pop() {
+        drain_end = drain_end.max(at);
         for (_, action) in injector.due(at) {
             apply_fault(&mut cluster, &action);
         }
-        Master::apply(&mut cluster, &ev);
+        match ev {
+            ControlEvent::Deferred(kind) => Master::apply(&mut cluster, &kind),
+            ControlEvent::Heartbeat if at <= settle_until => {
+                let det = detector.as_mut().expect("heartbeats imply a detector");
+                pending_dead.extend(det.probe_round(&cluster, at));
+                control.schedule(det.next_round_after(at), ControlEvent::Heartbeat);
+                let healing = config.healing.as_ref().expect("detector implies healing");
+                try_recover(
+                    &mut cluster,
+                    &mut master,
+                    healing,
+                    &mut pending_dead,
+                    at,
+                    &mut control,
+                    &mut recoveries,
+                    &mut injector,
+                );
+            }
+            ControlEvent::Heartbeat => {}
+        }
     }
+    if let Some(healing) = config.healing.as_ref() {
+        // Deaths confirmed but still queued behind a busy Master when the
+        // run ended: finish the recovery so the final membership is clean.
+        let at = master.busy_until().max(drain_end);
+        try_recover(
+            &mut cluster,
+            &mut master,
+            healing,
+            &mut pending_dead,
+            at,
+            &mut control,
+            &mut recoveries,
+            &mut injector,
+        );
+        while let Some((_, ev)) = control.pop() {
+            if let ControlEvent::Deferred(kind) = ev {
+                Master::apply(&mut cluster, &kind);
+            }
+        }
+    }
+
+    let final_crashed_members = cluster
+        .tier
+        .membership()
+        .members()
+        .iter()
+        .filter(|&&id| cluster.tier.node(id).map(|n| n.is_crashed()).unwrap_or(false))
+        .count() as u32;
 
     ExperimentResult {
         timeline: recorder.finish(),
         events,
         final_members: cluster.tier.membership().len() as u32,
+        final_crashed_members,
         total_requests: gen.generated(),
+        recoveries,
+        client_timeouts: cluster.client_timeouts(),
+        fast_failovers: cluster.fast_failovers(),
+        breaker_transitions: cluster.breaker_transitions(),
+        probes_sent: detector.as_ref().map_or(0, |d| d.probes_sent()),
+        detector_transitions: detector.as_ref().map_or(0, |d| d.transitions()),
     }
 }
 
@@ -319,7 +505,7 @@ fn trigger(
     master: &mut Master,
     action: ScaleAction,
     now: SimTime,
-    control: &mut EventQueue<DeferredKind>,
+    control: &mut EventQueue<ControlEvent>,
     events: &mut Vec<ScalingEvent>,
     injector: &mut FaultInjector,
 ) {
@@ -347,7 +533,7 @@ fn trigger(
         }
     };
     for deferred in &orch.deferred {
-        control.schedule(deferred.at, deferred.kind.clone());
+        control.schedule(deferred.at, ControlEvent::Deferred(deferred.kind.clone()));
     }
     // Member count after every deferred action lands. Inline policies have
     // already flipped the membership; deferred removals/evictions only
@@ -401,6 +587,7 @@ mod tests {
             prefill_top_ranks: 10_000,
             costs: MigrationCosts::default(),
             faults: FaultPlan::new(),
+            healing: None,
             seed: 7,
         }
     }

@@ -36,6 +36,7 @@
 
 pub mod autoscaler;
 pub mod elasticity;
+pub mod healing;
 pub mod master;
 pub mod predictive;
 pub mod fusecache;
@@ -46,6 +47,10 @@ pub mod scoring;
 pub use autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
 pub use elasticity::{
     run_experiment, ExperimentConfig, ExperimentResult, ScaleAction, ScalerConfig, ScalingEvent,
+};
+pub use healing::{
+    ConfirmedDeath, DetectorConfig, FailureDetector, HealingConfig, NodeState, ProbeOutcome,
+    RecoveryEvent, ReplacementPolicy,
 };
 pub use master::{DeferredAction, DeferredKind, Master, Orchestration};
 pub use predictive::{PredictiveAutoScaler, PredictiveConfig};

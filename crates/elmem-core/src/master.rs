@@ -12,6 +12,7 @@
 use elmem_cluster::Cluster;
 use elmem_util::{DetRng, ElmemError, NodeId, SimTime};
 
+use crate::healing::{HealingConfig, ReplacementPolicy};
 use crate::migration::{
     migrate_naive_scale_in, migrate_scale_in_supervised, migrate_scale_out, MigrationCosts,
     MigrationOutcome, MigrationReport, Supervision,
@@ -358,6 +359,110 @@ impl Master {
         Ok(orch)
     }
 
+    /// Recovers from confirmed node deaths (the self-healing loop's action
+    /// arm; see [`crate::healing`]).
+    ///
+    /// Eviction is immediate: a corpse serves nothing, and every instant it
+    /// stays in the ring is client timeouts — so the dead nodes (and any
+    /// other crashed members) leave the membership before this returns.
+    /// Per [`HealingConfig::replacement`] the Master then admits one
+    /// replacement per death: cold (committed immediately) or, with
+    /// [`HealingConfig::warmup`], filled via the supervised scale-out path
+    /// — FuseCache picks the hottest items off the survivors — before the
+    /// deferred [`DeferredKind::CommitAdd`]. Recovery runs regardless of
+    /// the experiment's comparator policy: re-admitting capacity is the
+    /// control plane's job, not the migration policy's.
+    ///
+    /// The returned [`Orchestration::nodes`] are the *replacements* (empty
+    /// for evict-only). A replacement that itself crashes before its
+    /// commit is filtered into [`DeferredKind::EvictCrashed`], like any
+    /// supervised scale-out.
+    ///
+    /// # Errors
+    ///
+    /// Migration errors propagate; eviction itself cannot fail.
+    pub fn recover_supervised(
+        &mut self,
+        cluster: &mut Cluster,
+        dead: &[NodeId],
+        now: SimTime,
+        healing: &HealingConfig,
+        supervision: &mut Supervision<'_>,
+    ) -> Result<Orchestration, ElmemError> {
+        for &id in dead {
+            let _ = cluster.tier.crash(id); // idempotent; confirms the state
+        }
+        let _ = cluster.tier.evict_crashed();
+        // If *every* member was dead, eviction keeps one corpse so clients
+        // still have somewhere to hash to; it can only leave once the
+        // replacements are in.
+        let leftover: Vec<NodeId> = cluster
+            .tier
+            .membership()
+            .members()
+            .iter()
+            .copied()
+            .filter(|&id| cluster.tier.node(id).map(|n| n.is_crashed()).unwrap_or(false))
+            .collect();
+        if healing.replacement == ReplacementPolicy::None || dead.is_empty() {
+            self.busy_until = now.max(self.busy_until);
+            return Ok(Orchestration {
+                nodes: vec![],
+                report: None,
+                deferred: vec![],
+                committed_at: now,
+            });
+        }
+        let ids = cluster.tier.provision_nodes(dead.len());
+        let orch = if healing.warmup {
+            let report = migrate_scale_out(&mut cluster.tier, &ids, now, &self.costs)?;
+            let committed_at = report.completed;
+            let (crashed, alive): (Vec<NodeId>, Vec<NodeId>) = ids
+                .iter()
+                .copied()
+                .partition(|&id| supervision.crash_before(id, committed_at).is_some());
+            let mut deferred = Vec::new();
+            if !crashed.is_empty() {
+                deferred.push(DeferredAction {
+                    at: committed_at,
+                    kind: DeferredKind::EvictCrashed(crashed),
+                });
+            }
+            if !alive.is_empty() {
+                deferred.push(DeferredAction {
+                    at: committed_at,
+                    kind: DeferredKind::CommitAdd(alive),
+                });
+                // After the replacements join, the kept corpse can go.
+                if !leftover.is_empty() {
+                    deferred.push(DeferredAction {
+                        at: committed_at,
+                        kind: DeferredKind::EvictCrashed(leftover.clone()),
+                    });
+                }
+            }
+            Orchestration {
+                deferred,
+                nodes: ids,
+                report: Some(report),
+                committed_at,
+            }
+        } else {
+            cluster.tier.commit_add(&ids)?;
+            if !leftover.is_empty() {
+                let _ = cluster.tier.evict_crashed();
+            }
+            Orchestration {
+                nodes: ids,
+                report: None,
+                deferred: vec![],
+                committed_at: now,
+            }
+        };
+        self.busy_until = orch.committed_at.max(self.busy_until);
+        Ok(orch)
+    }
+
     /// Applies a deferred action (the driver calls this when simulated time
     /// reaches `action.at`).
     pub fn apply(cluster: &mut Cluster, kind: &DeferredKind) {
@@ -574,6 +679,79 @@ mod tests {
         // crashed (not cleanly powered off), and nothing panicked.
         assert!(c.tier.node(victim).unwrap().is_crashed());
         assert!(!c.tier.node(victim).unwrap().is_online());
+    }
+
+    #[test]
+    fn recover_evict_only_shrinks_membership() {
+        use crate::healing::HealingConfig;
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        c.tier.crash(NodeId(2)).unwrap();
+        let orch = m
+            .recover_supervised(
+                &mut c,
+                &[NodeId(2)],
+                now,
+                &HealingConfig::evict_only(),
+                &mut Supervision::none(),
+            )
+            .unwrap();
+        assert!(orch.nodes.is_empty(), "no replacement admitted");
+        assert!(orch.deferred.is_empty());
+        assert_eq!(c.tier.membership().len(), 3);
+        assert!(!c.tier.membership().members().contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn recover_warm_replacement_fills_before_commit() {
+        use crate::healing::HealingConfig;
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        c.tier.crash(NodeId(2)).unwrap();
+        let orch = m
+            .recover_supervised(
+                &mut c,
+                &[NodeId(2)],
+                now,
+                &HealingConfig::warm_replacement(),
+                &mut Supervision::none(),
+            )
+            .unwrap();
+        assert_eq!(orch.nodes.len(), 1, "one replacement per death");
+        let replacement = orch.nodes[0];
+        // Corpse already evicted; replacement filled but not yet a member.
+        assert_eq!(c.tier.membership().len(), 3);
+        assert!(!c.tier.node(replacement).unwrap().store.is_empty());
+        assert!(orch.committed_at > now, "warmup takes time");
+        assert!(!m.is_idle(now));
+        for d in &orch.deferred {
+            Master::apply(&mut c, &d.kind);
+        }
+        assert_eq!(c.tier.membership().len(), 4, "capacity restored");
+        assert!(c.tier.membership().members().contains(&replacement));
+    }
+
+    #[test]
+    fn recover_cold_replacement_commits_immediately() {
+        use crate::healing::HealingConfig;
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::Baseline, MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        c.tier.crash(NodeId(1)).unwrap();
+        let orch = m
+            .recover_supervised(
+                &mut c,
+                &[NodeId(1)],
+                now,
+                &HealingConfig::cold_replacement(),
+                &mut Supervision::none(),
+            )
+            .unwrap();
+        assert_eq!(orch.committed_at, now);
+        assert_eq!(c.tier.membership().len(), 4);
+        assert!(c.tier.node(orch.nodes[0]).unwrap().store.is_empty(), "cold");
     }
 
     #[test]

@@ -242,6 +242,12 @@ impl FaultInjector {
         })
     }
 
+    /// Time of the next pending action, if any (the driver merges fault
+    /// application with its control events in time order).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.actions.get(self.cursor).map(|(at, _)| *at)
+    }
+
     /// Whether any fault remains to be applied.
     pub fn exhausted(&self) -> bool {
         self.cursor >= self.actions.len()

@@ -34,6 +34,8 @@ pub struct Link {
     latency: SimTime,
     /// The instant the link frees up.
     busy_until: SimTime,
+    /// The instant an injected partition heals (`ZERO` when none active).
+    partitioned_until: SimTime,
     /// Total bytes ever scheduled.
     bytes_sent: u64,
 }
@@ -54,6 +56,7 @@ impl Link {
             base_bandwidth: bandwidth_bytes_per_sec,
             latency,
             busy_until: SimTime::ZERO,
+            partitioned_until: SimTime::ZERO,
             bytes_sent: 0,
         }
     }
@@ -94,6 +97,29 @@ impl Link {
         self.bandwidth
     }
 
+    /// Per-transfer propagation/setup latency.
+    pub fn latency(&self) -> SimTime {
+        self.latency
+    }
+
+    /// Active slowdown factor: 1.0 on a healthy link, > 1 while degraded.
+    pub fn slowdown_factor(&self) -> f64 {
+        self.base_bandwidth / self.bandwidth
+    }
+
+    /// Whether the link is inside an injected partition window at `now`.
+    /// While partitioned, no traffic passes: the node is unreachable on
+    /// the serving path, and queued transfers wait for the heal instant.
+    pub fn is_partitioned(&self, now: SimTime) -> bool {
+        now < self.partitioned_until
+    }
+
+    /// The instant the current partition heals (`SimTime::ZERO` when no
+    /// partition was ever injected).
+    pub fn partitioned_until(&self) -> SimTime {
+        self.partitioned_until
+    }
+
     /// Degrades the link to `1/factor` of its *base* bandwidth (fault
     /// injection: a congested or flapping uplink). Repeated slowdowns
     /// replace rather than compound each other.
@@ -112,9 +138,11 @@ impl Link {
     }
 
     /// Blocks the link until `until` (fault injection: a partition).
-    /// Transfers scheduled meanwhile queue behind the heal instant.
+    /// Transfers scheduled meanwhile queue behind the heal instant, and
+    /// [`Link::is_partitioned`] reports the window to the serving path.
     pub fn partition_until(&mut self, until: SimTime) {
         self.busy_until = self.busy_until.max(until);
+        self.partitioned_until = self.partitioned_until.max(until);
     }
 }
 
@@ -194,6 +222,26 @@ mod tests {
         // queue normally.
         let later = link.schedule_transfer(SimTime::from_secs(20), ByteSize(1000));
         assert_eq!(later, SimTime::from_secs(21));
+    }
+
+    #[test]
+    fn partition_window_is_visible_to_the_serving_path() {
+        let mut link = Link::gigabit();
+        assert!(!link.is_partitioned(SimTime::ZERO));
+        link.partition_until(SimTime::from_secs(10));
+        assert!(link.is_partitioned(SimTime::from_secs(5)));
+        assert!(!link.is_partitioned(SimTime::from_secs(10)), "heal instant");
+        assert_eq!(link.partitioned_until(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn slowdown_factor_tracks_degradation() {
+        let mut link = Link::gigabit();
+        assert_eq!(link.slowdown_factor(), 1.0);
+        link.apply_slowdown(8.0);
+        assert_eq!(link.slowdown_factor(), 8.0);
+        link.restore_bandwidth();
+        assert_eq!(link.slowdown_factor(), 1.0);
     }
 
     #[test]

@@ -314,6 +314,37 @@ pub fn degradation_summary(
     }
 }
 
+/// Seconds from `crash_second` until the per-second hit rate climbs back to
+/// `target` and stays there for `sustain_secs` consecutive observed seconds
+/// (or through the end of the timeline); `None` if it never recovers.
+///
+/// The complement of [`degradation_summary`] for failure experiments: a
+/// crash costs *capacity* (misses), not queueing, so recovery is measured on
+/// the hit rate rather than the p95.
+pub fn hit_rate_recovery_secs(
+    timeline: &[TimelinePoint],
+    crash_second: u64,
+    target: f64,
+    sustain_secs: usize,
+) -> Option<u64> {
+    let post: Vec<&TimelinePoint> = timeline
+        .iter()
+        .filter(|p| p.second >= crash_second && p.requests > 0)
+        .collect();
+    let mut run_start: Option<usize> = None;
+    for (i, p) in post.iter().enumerate() {
+        if p.hit_rate >= target {
+            let start = *run_start.get_or_insert(i);
+            if i - start + 1 >= sustain_secs || i + 1 == post.len() {
+                return Some(post[start].second - crash_second);
+            }
+        } else {
+            run_start = None;
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +393,45 @@ mod tests {
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
+    }
+
+    fn tl(hit: impl Fn(u64) -> f64) -> Vec<TimelinePoint> {
+        (0..100)
+            .map(|s| TimelinePoint {
+                second: s,
+                hit_rate: hit(s),
+                p95_ms: 1.0,
+                mean_ms: 1.0,
+                requests: 10,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hit_rate_recovery_finds_the_sustained_return() {
+        // Crash at 20 drops the hit rate; it recovers at 50 with one
+        // transient dip at 55 that must reset the clock.
+        let t = tl(|s| match s {
+            0..=19 => 0.95,
+            20..=49 => 0.60,
+            55 => 0.60,
+            _ => 0.95,
+        });
+        assert_eq!(hit_rate_recovery_secs(&t, 20, 0.9, 10), Some(36));
+        // A short sustain window accepts the first return at 50.
+        assert_eq!(hit_rate_recovery_secs(&t, 20, 0.9, 3), Some(30));
+    }
+
+    #[test]
+    fn hit_rate_recovery_none_when_never_restored() {
+        let t = tl(|s| if s < 20 { 0.95 } else { 0.5 });
+        assert_eq!(hit_rate_recovery_secs(&t, 20, 0.9, 5), None);
+    }
+
+    #[test]
+    fn hit_rate_recovery_immediate_when_never_degraded() {
+        let t = tl(|_| 0.95);
+        assert_eq!(hit_rate_recovery_secs(&t, 20, 0.9, 5), Some(0));
     }
 
     #[test]

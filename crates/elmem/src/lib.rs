@@ -42,6 +42,7 @@
 //!     prefill_top_ranks: 5_000,
 //!     costs: MigrationCosts::default(),
 //!     faults: FaultPlan::new(),
+//!     healing: None,
 //!     seed: 42,
 //! };
 //! let result = run_experiment(config);

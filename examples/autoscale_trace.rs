@@ -41,6 +41,7 @@ fn main() {
         prefill_top_ranks: 50_000,
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
+        healing: None,
         seed: 7,
         cluster,
     };

@@ -55,6 +55,7 @@ fn main() {
             prefill_top_ranks: 60_000,
             costs: MigrationCosts::default(),
             faults: FaultPlan::new(),
+            healing: None,
             seed: 11,
         })
     };

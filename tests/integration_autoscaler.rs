@@ -29,6 +29,7 @@ fn config(trace: DemandTrace, peak_rate: f64, seed: u64) -> ExperimentConfig {
         prefill_top_ranks: 15_000,
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
+        healing: None,
         seed,
         cluster,
     }

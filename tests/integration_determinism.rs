@@ -27,6 +27,7 @@ fn config(seed: u64) -> ExperimentConfig {
         prefill_top_ranks: 10_000,
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
+        healing: None,
         seed,
     }
 }

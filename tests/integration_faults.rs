@@ -27,6 +27,7 @@ fn config(faults: FaultPlan) -> ExperimentConfig {
         prefill_top_ranks: 15_000,
         costs: MigrationCosts::default(),
         faults,
+        healing: None,
         seed: 2,
     }
 }

@@ -25,6 +25,7 @@ fn config(policy: MigrationPolicy, seed: u64) -> ExperimentConfig {
         prefill_top_ranks: 15_000,
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
+        healing: None,
         seed,
     }
 }

@@ -29,6 +29,7 @@ fn config(faults: FaultPlan, seed: u64) -> ExperimentConfig {
         prefill_top_ranks: 4_000,
         costs: MigrationCosts::default(),
         faults,
+        healing: None,
         seed,
     }
 }
