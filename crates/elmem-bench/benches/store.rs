@@ -78,7 +78,12 @@ fn bench_dump_and_import(c: &mut Criterion) {
 
         let class = store.classes().class_for(100 + 59).unwrap();
         let incoming: Vec<ItemMeta> = (0..n / 10)
-            .map(|i| ItemMeta { key: KeyId(10_000_000 + i), value_size: 100, last_access: SimTime::from_secs(100_000 - i), expires: SimTime::MAX })
+            .map(|i| ItemMeta {
+                key: KeyId(10_000_000 + i),
+                value_size: 100,
+                last_access: SimTime::from_secs(100_000 - i),
+                expires: SimTime::MAX,
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("batch_import_merge", n), &n, |b, _| {
             b.iter_batched(

@@ -21,7 +21,11 @@ fn main() {
     let seed = 77;
     let workload = laptop_workload(TraceKind::FacebookEtc, seed);
     let rng = DetRng::seed(seed);
-    let mut cluster = Cluster::new(laptop_cluster(10), workload.keyspace.clone(), rng.split("c"));
+    let mut cluster = Cluster::new(
+        laptop_cluster(10),
+        workload.keyspace.clone(),
+        rng.split("c"),
+    );
     let mut gen = RequestGenerator::new(workload, rng.split("w"));
 
     // Warm: prefill the hottest ranks, then serve ~3 minutes of traffic so

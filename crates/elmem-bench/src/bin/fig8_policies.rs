@@ -18,13 +18,8 @@ fn main() {
     let scheduled = vec![(SimTime::from_secs(30 * 60), ScaleAction::In { count: 3 })];
 
     let mk = |policy: MigrationPolicy| {
-        let mut cfg = laptop_experiment(
-            TraceKind::FacebookSys,
-            10,
-            policy,
-            scheduled.clone(),
-            seed,
-        );
+        let mut cfg =
+            laptop_experiment(TraceKind::FacebookSys, 10, policy, scheduled.clone(), seed);
         // A slightly flatter popularity (Zipf 0.95) puts real mass in the
         // mid-tail, where the policies' data-placement quality differs,
         // while keeping the post-scaling steady state inside the database's

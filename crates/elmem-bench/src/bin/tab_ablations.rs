@@ -10,15 +10,13 @@
 //!    exercised on a rising-demand trace where prediction pre-provisions.
 
 use elmem_bench::exp::{
-    laptop_cluster, laptop_experiment, laptop_workload, print_summary_row,
-    PREFILL_RANKS,
+    laptop_cluster, laptop_experiment, laptop_workload, print_summary_row, PREFILL_RANKS,
 };
 use elmem_cluster::Cluster;
 use elmem_core::migration::{migrate_scale_in, MigrationCosts};
 use elmem_core::scoring::node_score;
 use elmem_core::{
-    run_experiment, AutoScalerConfig, MigrationPolicy, PredictiveConfig,
-    ScaleAction,
+    run_experiment, AutoScalerConfig, MigrationPolicy, PredictiveConfig, ScaleAction,
 };
 use elmem_store::ImportMode;
 use elmem_util::{DetRng, NodeId, SimTime};
@@ -38,7 +36,10 @@ fn main() {
 fn ablate_import_mode() {
     println!("== Ablation 1: batch-import mode (ETC, 10 -> 9) ==\n");
     let scheduled = vec![(minutes(25), ScaleAction::In { count: 1 })];
-    for (label, mode) in [("merge", ImportMode::Merge), ("prepend", ImportMode::Prepend)] {
+    for (label, mode) in [
+        ("merge", ImportMode::Merge),
+        ("prepend", ImportMode::Prepend),
+    ] {
         let result = run_experiment(laptop_experiment(
             TraceKind::FacebookEtc,
             10,
@@ -77,7 +78,10 @@ fn ablate_cachescale_window() {
 
 fn ablate_vnodes() {
     println!("== Ablation 3: ring vnodes vs node-choice spread ==\n");
-    println!("{:>7} {:>16} {:>16} {:>10}", "vnodes", "coldest (items)", "worst (items)", "spread");
+    println!(
+        "{:>7} {:>16} {:>16} {:>10}",
+        "vnodes", "coldest (items)", "worst (items)", "spread"
+    );
     for vnodes in [8u32, 32, 128] {
         let seed = 413;
         let mut cluster_cfg = laptop_cluster(10);
@@ -154,7 +158,10 @@ fn ablate_predictive() {
     let mut rng = DetRng::seed(414);
     let mut nodes_r = 4u32;
     let mut nodes_p = 4u32;
-    println!("{:>6} {:>10} {:>10} {:>12} {:>12}", "epoch", "rate", "forecast", "reactive", "predictive");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "epoch", "rate", "forecast", "reactive", "predictive"
+    );
     for epoch in 1..=8u64 {
         let rate = 2000.0 + 1000.0 * (epoch - 1) as f64;
         // One epoch's worth of sampled lookups.

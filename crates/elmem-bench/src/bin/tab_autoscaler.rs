@@ -10,7 +10,9 @@
 
 use elmem_bench::exp::{laptop_cluster, laptop_workload, PREFILL_RANKS};
 use elmem_core::migration::MigrationCosts;
-use elmem_core::{run_experiment, AutoScaler, AutoScalerConfig, ExperimentConfig, FaultPlan, MigrationPolicy};
+use elmem_core::{
+    run_experiment, AutoScaler, AutoScalerConfig, ExperimentConfig, FaultPlan, MigrationPolicy,
+};
 use elmem_store::item::item_footprint;
 use elmem_util::{ByteSize, DetRng, SimTime};
 use elmem_workload::{DemandTrace, TraceKind, ZipfPopularity};
@@ -70,7 +72,9 @@ fn main() {
     scaler_cfg.min_observations = 2_000_000;
     let mut workload = laptop_workload(TraceKind::FacebookEtc, 5);
     workload.trace = DemandTrace::new(
-        vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3],
+        vec![
+            1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3,
+        ],
         SimTime::from_secs(120),
     );
     let r_db = cluster.r_db();

@@ -30,7 +30,10 @@ fn main() {
     );
 
     println!("\n== SS II-C: elasticity savings on the five traces ==\n");
-    println!("{:<12} {:>14} {:>12}", "trace", "node-hours saved", "peak nodes");
+    println!(
+        "{:<12} {:>14} {:>12}",
+        "trace", "node-hours saved", "peak nodes"
+    );
     for kind in TraceKind::ALL {
         let t = kind.demand_trace();
         // A perfectly elastic tier sized each minute to ceil(demand * 10).
@@ -58,7 +61,11 @@ fn main() {
             // Diurnal sinusoid between 0.33 and 1.0 of peak...
             let base = 0.665 - 0.335 * ((hour - 4.0) / 24.0 * std::f64::consts::TAU).cos();
             // ...with a brief 1.5x lunchtime spike.
-            let spike = if (12.0..12.5).contains(&hour) { 1.5 } else { 1.0 };
+            let spike = if (12.0..12.5).contains(&hour) {
+                1.5
+            } else {
+                1.0
+            };
             ((base * spike).min(1.0) * 10.0).ceil().max(1.0) as u32
         })
         .collect();

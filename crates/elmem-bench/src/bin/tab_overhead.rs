@@ -19,7 +19,11 @@ fn main() {
     let seed = 99;
     let workload = laptop_workload(TraceKind::FacebookEtc, seed);
     let rng = DetRng::seed(seed);
-    let mut cluster = Cluster::new(laptop_cluster(10), workload.keyspace.clone(), rng.split("c"));
+    let mut cluster = Cluster::new(
+        laptop_cluster(10),
+        workload.keyspace.clone(),
+        rng.split("c"),
+    );
     let mut gen = RequestGenerator::new(workload, rng.split("w"));
     let zipf = gen.zipf().clone();
     cluster.prefill(
@@ -62,11 +66,18 @@ fn main() {
     row("FuseCache", p.fusecache, "<2s");
     row("data migration", p.data_transfer, "~45s");
     row("batch import", p.import, "~80s");
-    println!("{:<20} {:>12}   (paper ~2min)", "TOTAL", p.total().to_string());
+    println!(
+        "{:<20} {:>12}   (paper ~2min)",
+        "TOTAL",
+        p.total().to_string()
+    );
     println!();
     println!(
         "items considered: {}   items migrated: {}   data bytes: {}   metadata bytes: {}",
-        report.items_considered, report.items_migrated, report.bytes_migrated, report.metadata_bytes
+        report.items_considered,
+        report.items_migrated,
+        report.bytes_migrated,
+        report.metadata_bytes
     );
     println!(
         "(host wall-clock for the whole migration computation: {:.2?})",

@@ -134,7 +134,11 @@ fn row(label: &str, r: &ExperimentResult, s: &Scenario) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let make = if smoke { smoke_experiment } else { full_experiment };
+    let make = if smoke {
+        smoke_experiment
+    } else {
+        full_experiment
+    };
     println!(
         "== Tab (self-healing): crash detection, eviction, warmed replacement{} ==\n",
         if smoke { " [smoke]" } else { "" }
@@ -156,8 +160,7 @@ fn main() {
     for r in [&evict, &warm] {
         let rec = r.recoveries.first().expect("crash detected");
         let d = HealingConfig::evict_only().detector;
-        let window =
-            (d.probe_interval + d.jitter) * u64::from(d.suspicion_threshold + 1);
+        let window = (d.probe_interval + d.jitter) * u64::from(d.suspicion_threshold + 1);
         let latency = rec.detection_latency().expect("crash time known");
         assert!(
             latency <= window,

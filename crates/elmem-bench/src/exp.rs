@@ -5,8 +5,8 @@
 use elmem_cluster::{BreakerConfig, ClusterConfig};
 use elmem_core::migration::MigrationCosts;
 use elmem_core::{ExperimentConfig, ExperimentResult, FaultPlan, MigrationPolicy, ScaleAction};
-use elmem_util::stats::{degradation_summary, DegradationSummary, TimelinePoint};
 use elmem_store::SizeClasses;
+use elmem_util::stats::{degradation_summary, DegradationSummary, TimelinePoint};
 use elmem_util::{ByteSize, SimTime};
 use elmem_workload::{Keyspace, TraceKind, WorkloadConfig};
 

@@ -75,12 +75,7 @@ impl DbModel {
     /// Creates a database with `servers` parallel workers, the given mean
     /// per-fetch service time (capacity = `servers / mean_service`), and an
     /// admission bound of `shed_delay` of backlog.
-    pub fn new(
-        servers: usize,
-        mean_service: SimTime,
-        shed_delay: SimTime,
-        rng: DetRng,
-    ) -> Self {
+    pub fn new(servers: usize, mean_service: SimTime, shed_delay: SimTime, rng: DetRng) -> Self {
         DbModel {
             pool: ServerPool::new(servers),
             mean_service,
@@ -170,7 +165,12 @@ mod tests {
 
     #[test]
     fn shed_fetches_return_no_data() {
-        let mut db = DbModel::new(1, SimTime::from_millis(100), SimTime::from_millis(50), DetRng::seed(4));
+        let mut db = DbModel::new(
+            1,
+            SimTime::from_millis(100),
+            SimTime::from_millis(50),
+            DetRng::seed(4),
+        );
         let first = db.fetch(SimTime::ZERO);
         assert!(first.is_served());
         // Backlog now ~100ms > 50ms bound: next fetch is shed.
@@ -190,7 +190,12 @@ mod tests {
         // as control-plane failures (see the `Shed` docs: migration retry
         // budgets are consumed only by injected shipment drops, which are
         // accounted in MigrationReport::transfer_retries, not here).
-        let mut db = DbModel::new(1, SimTime::from_millis(100), SimTime::from_millis(10), DetRng::seed(5));
+        let mut db = DbModel::new(
+            1,
+            SimTime::from_millis(100),
+            SimTime::from_millis(10),
+            DetRng::seed(5),
+        );
         let _ = db.fetch(SimTime::ZERO);
         let f = db.fetch(SimTime::ZERO);
         assert!(!f.is_served());

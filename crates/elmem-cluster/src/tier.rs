@@ -133,13 +133,14 @@ impl CacheTier {
     /// Provisions `count` fresh nodes *outside* the membership (scale-out
     /// step 1); returns their ids.
     pub fn provision_nodes(&mut self, count: usize) -> Vec<NodeId> {
-        let start = self
-            .nodes
-            .keys()
-            .map(|n| n.0 + 1)
-            .max()
-            .unwrap_or(0)
-            .max(self.membership.members().iter().map(|n| n.0 + 1).max().unwrap_or(0));
+        let start = self.nodes.keys().map(|n| n.0 + 1).max().unwrap_or(0).max(
+            self.membership
+                .members()
+                .iter()
+                .map(|n| n.0 + 1)
+                .max()
+                .unwrap_or(0),
+        );
         let ids: Vec<NodeId> = (0..count as u32).map(|i| NodeId(start + i)).collect();
         for &id in &ids {
             self.nodes.insert(

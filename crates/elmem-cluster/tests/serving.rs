@@ -35,7 +35,10 @@ fn miss_storm_latency_is_bounded_by_admission_control() {
     }
     // Admission control caps the tail near the shed delay (+ overheads),
     // instead of letting the queue diverge.
-    assert!(worst_ms >= 400.0, "storm should hit the shed bound: {worst_ms}");
+    assert!(
+        worst_ms >= 400.0,
+        "storm should hit the shed bound: {worst_ms}"
+    );
     assert!(worst_ms < 700.0, "latency must stay bounded: {worst_ms}");
     assert!(c.db.shed() > 0, "the database must have shed load");
 }

@@ -17,9 +17,9 @@ use elmem_workload::{RequestGenerator, WorkloadConfig};
 use crate::autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
 use crate::healing::{ConfirmedDeath, FailureDetector, HealingConfig, RecoveryEvent};
 use crate::master::{DeferredKind, Master};
-use crate::predictive::{PredictiveAutoScaler, PredictiveConfig};
 use crate::migration::{MigrationCosts, MigrationReport, Supervision};
 use crate::policies::MigrationPolicy;
+use crate::predictive::{PredictiveAutoScaler, PredictiveConfig};
 
 /// A scripted scaling action (used when experiments pin the scaling moment
 /// instead of running the AutoScaler).
@@ -310,7 +310,8 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
                             let det = detector.as_mut().expect("heartbeats imply a detector");
                             pending_dead.extend(det.probe_round(&cluster, at));
                             control.schedule(det.next_round_after(at), ControlEvent::Heartbeat);
-                            let healing = config.healing.as_ref().expect("detector implies healing");
+                            let healing =
+                                config.healing.as_ref().expect("detector implies healing");
                             try_recover(
                                 &mut cluster,
                                 &mut master,
@@ -381,14 +382,18 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         let outcome = cluster.handle(&req);
         if let Some(scaler) = autoscaler.as_mut() {
             for &key in &req.keys {
-                let footprint = elmem_store::item::item_footprint(
-                    cluster.keyspace().value_size(key),
-                );
+                let footprint =
+                    elmem_store::item::item_footprint(cluster.keyspace().value_size(key));
                 scaler.observe(key, footprint);
             }
         }
         lookups_since += outcome.lookups;
-        recorder.record_request(outcome.completion, outcome.rt_ms(), outcome.hits, outcome.lookups);
+        recorder.record_request(
+            outcome.completion,
+            outcome.rt_ms(),
+            outcome.hits,
+            outcome.lookups,
+        );
     }
 
     // Drain remaining control events so membership reflects every decision
@@ -456,7 +461,13 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         .membership()
         .members()
         .iter()
-        .filter(|&&id| cluster.tier.node(id).map(|n| n.is_crashed()).unwrap_or(false))
+        .filter(|&&id| {
+            cluster
+                .tier
+                .node(id)
+                .map(|n| n.is_crashed())
+                .unwrap_or(false)
+        })
         .count() as u32;
 
     ExperimentResult {
@@ -576,10 +587,7 @@ mod tests {
                 zipf_exponent: 1.0,
                 items_per_request: 3,
                 peak_rate: 300.0,
-                trace: elmem_workload::DemandTrace::new(
-                    vec![1.0; 7],
-                    SimTime::from_secs(10),
-                ),
+                trace: elmem_workload::DemandTrace::new(vec![1.0; 7], SimTime::from_secs(10)),
             },
             policy,
             autoscaler: None,
@@ -621,8 +629,10 @@ mod tests {
         let commit_b = base.events[0].committed_at.as_secs();
         let commit_e = elmem.events[0].committed_at.as_secs();
         let post_miss = |tl: &[TimelinePoint], s: u64| -> f64 {
-            let pts: Vec<&TimelinePoint> =
-                tl.iter().filter(|p| p.second >= s && p.requests > 0).collect();
+            let pts: Vec<&TimelinePoint> = tl
+                .iter()
+                .filter(|p| p.second >= s && p.requests > 0)
+                .collect();
             1.0 - pts.iter().map(|p| p.hit_rate).sum::<f64>() / pts.len().max(1) as f64
         };
         let miss_b = post_miss(&base.timeline, commit_b);
@@ -681,10 +691,7 @@ mod tests {
         );
         cfg.workload.peak_rate = 400.0;
         cfg.autoscaler = Some({
-            let mut a = AutoScalerConfig::new(
-                cfg.cluster.r_db(),
-                cfg.cluster.node_memory,
-            );
+            let mut a = AutoScalerConfig::new(cfg.cluster.r_db(), cfg.cluster.node_memory);
             a.epoch = SimTime::from_secs(30);
             a.max_nodes = 4;
             a.min_observations = 5_000;

@@ -349,7 +349,10 @@ mod tests {
     }
 
     fn detector() -> FailureDetector {
-        FailureDetector::new(DetectorConfig::default(), DetRng::seed(2).split("heartbeat"))
+        FailureDetector::new(
+            DetectorConfig::default(),
+            DetRng::seed(2).split("heartbeat"),
+        )
     }
 
     #[test]

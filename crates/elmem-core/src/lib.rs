@@ -36,30 +36,32 @@
 
 pub mod autoscaler;
 pub mod elasticity;
+pub mod fusecache;
 pub mod healing;
 pub mod master;
-pub mod predictive;
-pub mod fusecache;
 pub mod migration;
 pub mod policies;
+pub mod predictive;
 pub mod scoring;
 
 pub use autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
 pub use elasticity::{
     run_experiment, ExperimentConfig, ExperimentResult, ScaleAction, ScalerConfig, ScalingEvent,
 };
+pub use fusecache::{
+    fusecache, fusecache_instrumented, kway_top_n, sort_merge_top_n, SelectionStats,
+};
 pub use healing::{
     ConfirmedDeath, DetectorConfig, FailureDetector, HealingConfig, NodeState, ProbeOutcome,
     RecoveryEvent, ReplacementPolicy,
 };
 pub use master::{DeferredAction, DeferredKind, Master, Orchestration};
-pub use predictive::{PredictiveAutoScaler, PredictiveConfig};
-pub use fusecache::{fusecache, fusecache_instrumented, kway_top_n, sort_merge_top_n, SelectionStats};
 pub use migration::{
     migrate_scale_in, migrate_scale_in_supervised, migrate_scale_out, AbortCause, MigrationCosts,
     MigrationOutcome, MigrationPhase, MigrationReport, PhaseBreakdown, PhaseDeadlines, RetryPolicy,
     Supervision,
 };
+pub use predictive::{PredictiveAutoScaler, PredictiveConfig};
 // Re-exported so experiment configs can name their fault plan without
 // depending on `elmem-sim` directly.
 pub use elmem_sim::fault::{FaultKind, FaultPlan, ScheduledFault};

@@ -402,7 +402,13 @@ impl Master {
             .members()
             .iter()
             .copied()
-            .filter(|&id| cluster.tier.node(id).map(|n| n.is_crashed()).unwrap_or(false))
+            .filter(|&id| {
+                cluster
+                    .tier
+                    .node(id)
+                    .map(|n| n.is_crashed())
+                    .unwrap_or(false)
+            })
             .collect();
         if healing.replacement == ReplacementPolicy::None || dead.is_empty() {
             self.busy_until = now.max(self.busy_until);
@@ -477,7 +483,11 @@ impl Master {
                     .copied()
                     .filter(|&v| cluster.tier.membership().members().contains(&v))
                     .partition(|&v| {
-                        cluster.tier.node(v).map(|n| !n.is_crashed()).unwrap_or(false)
+                        cluster
+                            .tier
+                            .node(v)
+                            .map(|n| !n.is_crashed())
+                            .unwrap_or(false)
                     });
                 if !live.is_empty() {
                     let _ = cluster.tier.commit_remove(&live);

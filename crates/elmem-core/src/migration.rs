@@ -334,7 +334,14 @@ pub fn migrate_scale_in(
     costs: &MigrationCosts,
     import_mode: ImportMode,
 ) -> Result<MigrationReport, ElmemError> {
-    migrate_scale_in_supervised(tier, retiring, now, costs, import_mode, &mut Supervision::none())
+    migrate_scale_in_supervised(
+        tier,
+        retiring,
+        now,
+        costs,
+        import_mode,
+        &mut Supervision::none(),
+    )
 }
 
 /// Typed node access during migration: a member that cannot be reached
@@ -345,7 +352,8 @@ fn live_node(tier: &CacheTier, id: NodeId) -> Result<&CacheNode, ElmemError> {
 }
 
 fn live_node_mut(tier: &mut CacheTier, id: NodeId) -> Result<&mut CacheNode, ElmemError> {
-    tier.node_mut(id).map_err(|_| ElmemError::NodeUnavailable(id.0))
+    tier.node_mut(id)
+        .map_err(|_| ElmemError::NodeUnavailable(id.0))
 }
 
 /// Builds the report for an aborted migration: `completed` is the abort
@@ -424,7 +432,11 @@ pub fn migrate_scale_in_supervised(
     let mut max_slabs = 0u64;
     for &id in &members {
         let store = &live_node(tier, id)?.store;
-        let slabs = store.classes().ids().filter(|&c| store.len_of_class(c) > 0).count() as u64;
+        let slabs = store
+            .classes()
+            .ids()
+            .filter(|&c| store.len_of_class(c) > 0)
+            .count() as u64;
         max_slabs = max_slabs.max(slabs);
     }
     phases.scoring = SimTime::from_nanos(max_slabs * costs.score_ns_per_slab);
@@ -466,8 +478,10 @@ pub fn migrate_scale_in_supervised(
         let mut attempt = 0u32;
         let mut submit_at = now;
         let done = loop {
-            let completion =
-                live_node_mut(tier, src)?.link.schedule_transfer(submit_at, bytes) + pipeline;
+            let completion = live_node_mut(tier, src)?
+                .link
+                .schedule_transfer(submit_at, bytes)
+                + pipeline;
             if !supervision.sample_metadata_drop() {
                 break completion;
             }
@@ -481,7 +495,10 @@ pub fn migrate_scale_in_supervised(
                     completion,
                     phases,
                     MigrationPhase::MetadataTransfer,
-                    AbortCause::TransferRetriesExhausted { source: src, attempts: attempt },
+                    AbortCause::TransferRetriesExhausted {
+                        source: src,
+                        attempts: attempt,
+                    },
                     0,
                     ByteSize::ZERO,
                     metadata_bytes,
@@ -493,7 +510,10 @@ pub fn migrate_scale_in_supervised(
         };
         transfer_done = transfer_done.max(done);
         for ((target, class), items) in per_target {
-            inbound.entry((target, class)).or_default().push((src, items));
+            inbound
+                .entry((target, class))
+                .or_default()
+                .push((src, items));
         }
     }
     phases.dump = dump_max;
@@ -651,8 +671,10 @@ pub fn migrate_scale_in_supervised(
         let mut attempt = 0u32;
         let mut submit_at = data_start;
         let done = loop {
-            let completion =
-                live_node_mut(tier, src)?.link.schedule_transfer(submit_at, bytes) + pipeline;
+            let completion = live_node_mut(tier, src)?
+                .link
+                .schedule_transfer(submit_at, bytes)
+                + pipeline;
             if !supervision.sample_transfer_drop() {
                 break completion;
             }
@@ -660,14 +682,16 @@ pub fn migrate_scale_in_supervised(
             transfer_retries += 1;
             if attempt >= supervision.retry.max_attempts {
                 phases.data_transfer = completion.saturating_sub(data_start);
-                phases.import =
-                    SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
+                phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
                 return Ok(aborted(
                     now,
                     completion,
                     phases,
                     MigrationPhase::DataMigration,
-                    AbortCause::TransferRetriesExhausted { source: src, attempts: attempt },
+                    AbortCause::TransferRetriesExhausted {
+                        source: src,
+                        attempts: attempt,
+                    },
                     items_migrated,
                     bytes_migrated,
                     metadata_bytes,
@@ -706,8 +730,7 @@ pub fn migrate_scale_in_supervised(
             ));
         }
         data_done = data_done.max(done);
-        *import_ns.entry(target).or_default() +=
-            items.len() as u64 * costs.import_ns_per_item;
+        *import_ns.entry(target).or_default() += items.len() as u64 * costs.import_ns_per_item;
         // Apply the import (items are hottest-first within each source's
         // class list; the store re-sorts/merges as configured).
         let node = live_node_mut(tier, target)?;
@@ -826,8 +849,7 @@ pub fn migrate_scale_out(
             .link
             .schedule_transfer(now + phases.dump, bytes);
         transfer_done = transfer_done.max(done);
-        *import_ns.entry(target).or_default() +=
-            items.len() as u64 * costs.import_ns_per_item;
+        *import_ns.entry(target).or_default() += items.len() as u64 * costs.import_ns_per_item;
         let node = live_node_mut(tier, target)?;
         node.store.batch_import(class, &items, ImportMode::Merge)?;
         // The source keeps its copy until the membership flips; after the
@@ -932,10 +954,10 @@ pub fn migrate_naive_scale_in(
             .link
             .schedule_transfer(now + phases.dump, bytes);
         transfer_done = transfer_done.max(done);
-        *import_ns.entry(target).or_default() +=
-            items.len() as u64 * costs.import_ns_per_item;
+        *import_ns.entry(target).or_default() += items.len() as u64 * costs.import_ns_per_item;
         let node = live_node_mut(tier, target)?;
-        node.store.batch_import(class, &items, ImportMode::Prepend)?;
+        node.store
+            .batch_import(class, &items, ImportMode::Prepend)?;
     }
     phases.data_transfer = transfer_done.saturating_sub(now + phases.dump);
     phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));

@@ -134,9 +134,10 @@ impl PredictiveAutoScaler {
             return;
         }
         let prev_level = self.level;
-        self.level = self.config.alpha * rate + (1.0 - self.config.alpha) * (prev_level + self.trend);
-        self.trend = self.config.beta * (self.level - prev_level)
-            + (1.0 - self.config.beta) * self.trend;
+        self.level =
+            self.config.alpha * rate + (1.0 - self.config.alpha) * (prev_level + self.trend);
+        self.trend =
+            self.config.beta * (self.level - prev_level) + (1.0 - self.config.beta) * self.trend;
     }
 }
 

@@ -88,7 +88,11 @@ mod tests {
             let id = NodeId(i);
             for k in 0..200u64 {
                 let t = SimTime::from_secs(u64::from(i + 1) * 1000 + k);
-                tier.node_mut(id).unwrap().store.set(KeyId(k), 50, t).unwrap();
+                tier.node_mut(id)
+                    .unwrap()
+                    .store
+                    .set(KeyId(k), 50, t)
+                    .unwrap();
             }
         }
         tier

@@ -10,11 +10,7 @@ use proptest::prelude::*;
 /// Strategy: up to `k` lists of up to `len` items with timestamps in a
 /// narrow range (lots of near-ties) and globally unique keys.
 fn lists_strategy(k: usize, len: usize) -> impl Strategy<Value = Vec<Vec<Hotness>>> {
-    prop::collection::vec(
-        prop::collection::vec(0u64..50, 0..len),
-        0..=k,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec(prop::collection::vec(0u64..50, 0..len), 0..=k).prop_map(|raw| {
         let mut key = 0u64;
         raw.into_iter()
             .map(|ts| {

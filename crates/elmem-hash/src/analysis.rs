@@ -32,15 +32,11 @@ impl LoadStats {
     /// probability for popularity balance.
     ///
     /// Returns `None` for an empty ring or empty key set.
-    pub fn compute(
-        ring: &HashRing,
-        keys: impl Iterator<Item = (KeyId, f64)>,
-    ) -> Option<LoadStats> {
+    pub fn compute(ring: &HashRing, keys: impl Iterator<Item = (KeyId, f64)>) -> Option<LoadStats> {
         if ring.is_empty() {
             return None;
         }
-        let mut per_node: HashMap<NodeId, f64> =
-            ring.members().iter().map(|&n| (n, 0.0)).collect();
+        let mut per_node: HashMap<NodeId, f64> = ring.members().iter().map(|&n| (n, 0.0)).collect();
         let mut total = 0.0;
         let mut any = false;
         for (key, w) in keys {
@@ -52,17 +48,18 @@ impl LoadStats {
         if !any || total <= 0.0 {
             return None;
         }
-        let mut shares: Vec<(NodeId, f64)> = per_node
-            .into_iter()
-            .map(|(n, w)| (n, w / total))
-            .collect();
+        let mut shares: Vec<(NodeId, f64)> =
+            per_node.into_iter().map(|(n, w)| (n, w / total)).collect();
         shares.sort_by_key(|(n, _)| *n);
         let n = shares.len() as f64;
         let mean = 1.0 / n;
         let max = shares.iter().map(|(_, s)| *s).fold(0.0, f64::max);
         let min = shares.iter().map(|(_, s)| *s).fold(1.0, f64::min);
-        let var =
-            shares.iter().map(|(_, s)| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let var = shares
+            .iter()
+            .map(|(_, s)| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
         Some(LoadStats {
             shares,
             max_over_mean: max / mean,
@@ -85,8 +82,16 @@ mod tests {
         let ring = HashRing::new((0..10).map(NodeId), 256);
         let stats = LoadStats::compute(&ring, uniform_keys(100_000)).unwrap();
         assert_eq!(stats.shares.len(), 10);
-        assert!(stats.max_over_mean < 1.3, "max/mean {}", stats.max_over_mean);
-        assert!(stats.min_over_mean > 0.7, "min/mean {}", stats.min_over_mean);
+        assert!(
+            stats.max_over_mean < 1.3,
+            "max/mean {}",
+            stats.max_over_mean
+        );
+        assert!(
+            stats.min_over_mean > 0.7,
+            "min/mean {}",
+            stats.min_over_mean
+        );
         let total: f64 = stats.shares.iter().map(|(_, s)| s).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
@@ -110,8 +115,7 @@ mod tests {
         let ring = HashRing::new((0..4).map(NodeId), 64);
         // All weight on one key: its owner holds share 1.0.
         let hot_owner = ring.node_for(KeyId(7)).unwrap();
-        let stats =
-            LoadStats::compute(&ring, std::iter::once((KeyId(7), 5.0))).unwrap();
+        let stats = LoadStats::compute(&ring, std::iter::once((KeyId(7), 5.0))).unwrap();
         for (node, share) in &stats.shares {
             if *node == hot_owner {
                 assert!((share - 1.0).abs() < 1e-12);

@@ -99,7 +99,9 @@ impl Membership {
             }
         }
         self.ring = self.ring.with(nodes);
-        self.next_id = self.next_id.max(nodes.iter().map(|n| n.0 + 1).max().unwrap_or(0));
+        self.next_id = self
+            .next_id
+            .max(nodes.iter().map(|n| n.0 + 1).max().unwrap_or(0));
         Ok(())
     }
 }

@@ -198,7 +198,10 @@ impl FaultInjector {
                     factor,
                     duration,
                 } => {
-                    assert!(factor >= 1.0 && factor.is_finite(), "invalid slowdown factor");
+                    assert!(
+                        factor >= 1.0 && factor.is_finite(),
+                        "invalid slowdown factor"
+                    );
                     actions.push((fault.at, FaultAction::SlowLink(node, factor)));
                     actions.push((fault.at + duration, FaultAction::RestoreLink(node)));
                 }

@@ -128,7 +128,10 @@ impl Link {
     ///
     /// Panics if `factor` is not ≥ 1 and finite.
     pub fn apply_slowdown(&mut self, factor: f64) {
-        assert!(factor >= 1.0 && factor.is_finite(), "invalid slowdown factor");
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "invalid slowdown factor"
+        );
         self.bandwidth = self.base_bandwidth / factor;
     }
 
@@ -153,10 +156,7 @@ mod tests {
     #[test]
     fn transfer_time_scales_with_bytes() {
         let link = Link::new(1000.0, SimTime::ZERO);
-        assert_eq!(
-            link.transfer_time(ByteSize(500)),
-            SimTime::from_millis(500)
-        );
+        assert_eq!(link.transfer_time(ByteSize(500)), SimTime::from_millis(500));
         assert_eq!(link.transfer_time(ByteSize(2000)), SimTime::from_secs(2));
     }
 

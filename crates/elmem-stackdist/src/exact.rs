@@ -164,11 +164,8 @@ impl ExactStackDistance {
         let live = self.last_pos.len();
         if live * 2 <= self.time {
             // Compact: renumber live keys by their current position order.
-            let mut order: Vec<(usize, KeyId)> = self
-                .last_pos
-                .iter()
-                .map(|(k, &p)| (p, *k))
-                .collect();
+            let mut order: Vec<(usize, KeyId)> =
+                self.last_pos.iter().map(|(k, &p)| (p, *k)).collect();
             order.sort_unstable();
             let mut fenwick = Fenwick::with_capacity(self.fenwick.len());
             for (new_pos, &(_, key)) in order.iter().enumerate() {
@@ -271,9 +268,7 @@ mod tests {
             }
         }
         // Every warm access cycles through all other keys once: 16 * 10.
-        assert!(expected_after_warm
-            .iter()
-            .all(|&d| d == Some(keys * 10)));
+        assert!(expected_after_warm.iter().all(|&d| d == Some(keys * 10)));
     }
 
     #[test]

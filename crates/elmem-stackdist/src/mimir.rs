@@ -113,9 +113,7 @@ impl Mimir {
 
     fn bucket_index(&self, tag: u64) -> Option<usize> {
         // Tags are strictly descending from front; binary search.
-        let idx = self
-            .buckets
-            .partition_point(|b| b.tag > tag);
+        let idx = self.buckets.partition_point(|b| b.tag > tag);
         (idx < self.buckets.len() && self.buckets[idx].tag == tag).then_some(idx)
     }
 

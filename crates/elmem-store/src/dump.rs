@@ -78,7 +78,12 @@ mod tests {
     use elmem_util::{KeyId, SimTime};
 
     fn item(k: u64, ts: u64) -> ItemMeta {
-        ItemMeta { key: KeyId(k), value_size: 10, last_access: SimTime::from_secs(ts), expires: SimTime::MAX }
+        ItemMeta {
+            key: KeyId(k),
+            value_size: 10,
+            last_access: SimTime::from_secs(ts),
+            expires: SimTime::MAX,
+        }
     }
 
     #[test]

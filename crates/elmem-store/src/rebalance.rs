@@ -49,9 +49,7 @@ impl SlabStore {
         }
         self.reset_eviction_pressure();
         match (donor, recipient) {
-            (Some((from, _)), Some((to, _))) if from != to => {
-                Some(RebalanceHint { from, to })
-            }
+            (Some((from, _)), Some((to, _))) if from != to => Some(RebalanceHint { from, to }),
             _ => None,
         }
     }

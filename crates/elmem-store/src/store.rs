@@ -196,9 +196,7 @@ impl SlabStore {
         let class_states = config
             .classes
             .ids()
-            .map(|id| {
-                ClassState::new(config.classes.chunks_per_page(id))
-            })
+            .map(|id| ClassState::new(config.classes.chunks_per_page(id)))
             .collect();
         SlabStore {
             classes: config.classes,
@@ -402,7 +400,12 @@ impl SlabStore {
     }
 
     fn set_item(&mut self, new_item: ItemMeta) -> Result<(), ElmemError> {
-        let ItemMeta { key, value_size, last_access: now, expires } = new_item;
+        let ItemMeta {
+            key,
+            value_size,
+            last_access: now,
+            expires,
+        } = new_item;
         let footprint = item_footprint(value_size);
         let class = self
             .classes
@@ -1104,8 +1107,12 @@ mod tests {
         }
         let class = s.classes().class_for(item_footprint(10)).unwrap();
         let incoming: Vec<ItemMeta> = (0..5)
-            .map(|i| ItemMeta { key: KeyId(100 + i), value_size: 10, last_access: t(2 * (9 - i) + 1), // odd, interleaving
-                expires: SimTime::MAX })
+            .map(|i| ItemMeta {
+                key: KeyId(100 + i),
+                value_size: 10,
+                last_access: t(2 * (9 - i) + 1), // odd, interleaving
+                expires: SimTime::MAX,
+            })
             .collect();
         let kept = s.batch_import(class, &incoming, ImportMode::Merge).unwrap();
         assert_eq!(kept, 5);
@@ -1123,8 +1130,12 @@ mod tests {
             s.set(KeyId(k), 10, t(100 + k)).unwrap();
         }
         let class = s.classes().class_for(item_footprint(10)).unwrap();
-        let incoming = vec![ItemMeta { key: KeyId(50), value_size: 10, last_access: t(1), // colder, but prepend puts it first anyway
-                expires: SimTime::MAX }];
+        let incoming = vec![ItemMeta {
+            key: KeyId(50),
+            value_size: 10,
+            last_access: t(1), // colder, but prepend puts it first anyway
+            expires: SimTime::MAX,
+        }];
         s.batch_import(class, &incoming, ImportMode::Prepend)
             .unwrap();
         let first = s.iter_class_mru(class).next().unwrap();
@@ -1144,7 +1155,12 @@ mod tests {
         let class = s.classes().class_for(item_footprint(10)).unwrap();
         // Import `cap/2` items hotter than everything resident.
         let incoming: Vec<ItemMeta> = (0..cap / 2)
-            .map(|i| ItemMeta { key: KeyId(1_000_000 + i), value_size: 10, last_access: t(10_000 + i), expires: SimTime::MAX })
+            .map(|i| ItemMeta {
+                key: KeyId(1_000_000 + i),
+                value_size: 10,
+                last_access: t(10_000 + i),
+                expires: SimTime::MAX,
+            })
             .collect();
         let kept = s.batch_import(class, &incoming, ImportMode::Merge).unwrap();
         assert_eq!(kept, cap / 2);
@@ -1161,10 +1177,18 @@ mod tests {
         s.set(KeyId(2), 10, t(1)).unwrap();
         let class = s.classes().class_for(item_footprint(10)).unwrap();
         let incoming = vec![
-            ItemMeta { key: KeyId(1), value_size: 10, last_access: t(50), // colder than resident copy
-                expires: SimTime::MAX },
-            ItemMeta { key: KeyId(2), value_size: 10, last_access: t(200), // hotter than resident copy
-                expires: SimTime::MAX },
+            ItemMeta {
+                key: KeyId(1),
+                value_size: 10,
+                last_access: t(50), // colder than resident copy
+                expires: SimTime::MAX,
+            },
+            ItemMeta {
+                key: KeyId(2),
+                value_size: 10,
+                last_access: t(200), // hotter than resident copy
+                expires: SimTime::MAX,
+            },
         ];
         s.batch_import(class, &incoming, ImportMode::Merge).unwrap();
         assert_eq!(s.len(), 2);

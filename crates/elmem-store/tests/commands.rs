@@ -34,7 +34,10 @@ fn add_succeeds_over_expired_item() {
 #[test]
 fn replace_stores_only_when_present() {
     let mut s = store();
-    assert!(!s.replace(KeyId(1), 10, t(1)).unwrap(), "nothing to replace");
+    assert!(
+        !s.replace(KeyId(1), 10, t(1)).unwrap(),
+        "nothing to replace"
+    );
     s.set(KeyId(1), 10, t(1)).unwrap();
     assert!(s.replace(KeyId(1), 20, t(2)).unwrap());
     assert_eq!(s.peek(KeyId(1)).unwrap().value_size, 20);

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use elmem_store::{ImportMode, ItemMeta, SlabStore, SizeClasses, StoreConfig};
+use elmem_store::{ImportMode, ItemMeta, SizeClasses, SlabStore, StoreConfig};
 use elmem_util::{ByteSize, KeyId, SimTime};
 use proptest::prelude::*;
 

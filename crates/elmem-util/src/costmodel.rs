@@ -136,7 +136,11 @@ mod tests {
         let m = PowerModel::paper_calibrated();
         let c = compare(&m);
         assert!((c.app_watts - 204.0).abs() < 0.5, "app {}", c.app_watts);
-        assert!((c.cache_watts - 299.0).abs() < 0.5, "cache {}", c.cache_watts);
+        assert!(
+            (c.cache_watts - 299.0).abs() < 0.5,
+            "cache {}",
+            c.cache_watts
+        );
         assert!((c.power_overhead - 0.47).abs() < 0.01);
         assert!((c.cost_overhead - 0.66).abs() < 0.01);
     }
@@ -167,7 +171,9 @@ mod tests {
     #[test]
     fn elastic_savings_diurnal() {
         // Paper: 2x diurnal variation enables 30-70% savings depending on shape.
-        let demand: Vec<u32> = (0..24).map(|h| if (8..20).contains(&h) { 10 } else { 5 }).collect();
+        let demand: Vec<u32> = (0..24)
+            .map(|h| if (8..20).contains(&h) { 10 } else { 5 })
+            .collect();
         let s = elastic_savings(&demand);
         assert!(s > 0.2 && s < 0.3, "savings {s}");
     }

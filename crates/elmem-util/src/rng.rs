@@ -81,9 +81,7 @@ impl DetRng {
     /// Derives an independent sub-stream identified by an integer (e.g. a
     /// node id), for when streams are created in a loop.
     pub fn split_index(&self, index: u64) -> DetRng {
-        let mut sm = index
-            .wrapping_mul(0x9E3779B97F4A7C15)
-            .rotate_left(31)
+        let mut sm = index.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(31)
             ^ self.s[1]
             ^ self.s[3].rotate_left(13);
         let s = [

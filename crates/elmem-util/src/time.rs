@@ -237,10 +237,7 @@ mod tests {
     #[test]
     fn checked_add_detects_overflow() {
         assert!(SimTime::MAX.checked_add(SimTime(1)).is_none());
-        assert_eq!(
-            SimTime(1).checked_add(SimTime(2)),
-            Some(SimTime(3))
-        );
+        assert_eq!(SimTime(1).checked_add(SimTime(2)), Some(SimTime(3)));
     }
 
     #[test]

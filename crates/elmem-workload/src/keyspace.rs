@@ -143,7 +143,11 @@ mod tests {
         let ks = Keyspace::new(1000, 1);
         let distinct: std::collections::HashSet<u32> =
             ks.keys().map(|k| ks.value_size(k)).collect();
-        assert!(distinct.len() > 100, "only {} distinct sizes", distinct.len());
+        assert!(
+            distinct.len() > 100,
+            "only {} distinct sizes",
+            distinct.len()
+        );
     }
 
     #[test]

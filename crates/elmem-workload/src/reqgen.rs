@@ -236,7 +236,10 @@ mod tests {
 
     #[test]
     fn popular_keys_dominate() {
-        let cfg = config(500.0, DemandTrace::new(vec![1.0; 3], SimTime::from_secs(30)));
+        let cfg = config(
+            500.0,
+            DemandTrace::new(vec![1.0; 3], SimTime::from_secs(30)),
+        );
         let reqs = RequestGenerator::new(cfg, DetRng::seed(5)).collect_all();
         let mut counts: std::collections::HashMap<KeyId, u64> = Default::default();
         for r in &reqs {

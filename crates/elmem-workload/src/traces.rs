@@ -247,7 +247,11 @@ mod tests {
         for kind in TraceKind::ALL {
             let t = kind.demand_trace();
             assert_eq!(t.samples().len(), 60, "{kind}");
-            assert!(t.peak() <= 1.0 && t.peak() > 0.8, "{kind} peak {}", t.peak());
+            assert!(
+                t.peak() <= 1.0 && t.peak() > 0.8,
+                "{kind} peak {}",
+                t.peak()
+            );
             assert!(t.trough() >= 0.0, "{kind}");
         }
     }

@@ -80,8 +80,7 @@ impl ZipfPopularity {
             return 1 + rng.next_below(self.n);
         }
         loop {
-            let u = self.h_integral_n
-                + rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
+            let u = self.h_integral_n + rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
             let x = h_integral_inverse(u, self.s);
             let k = x.round().clamp(1.0, self.n as f64);
             if k - x <= self.threshold || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
@@ -125,7 +124,9 @@ fn h_integral_inverse(u: f64, s: f64) -> f64 {
         u.exp()
     } else {
         // Guard the radicand against tiny negative rounding error.
-        (1.0 + u * (1.0 - s)).max(f64::MIN_POSITIVE).powf(1.0 / (1.0 - s))
+        (1.0 + u * (1.0 - s))
+            .max(f64::MIN_POSITIVE)
+            .powf(1.0 / (1.0 - s))
     }
 }
 

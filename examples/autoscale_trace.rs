@@ -54,11 +54,21 @@ fn main() {
         println!("  (none)");
     }
     for ev in &result.events {
-        let kind = if ev.to_nodes < ev.from_nodes { "IN " } else { "OUT" };
+        let kind = if ev.to_nodes < ev.from_nodes {
+            "IN "
+        } else {
+            "OUT"
+        };
         let migrated = ev
             .report
             .as_ref()
-            .map(|r| format!(", migrated {} items in {}", r.items_migrated, r.phases.total()))
+            .map(|r| {
+                format!(
+                    ", migrated {} items in {}",
+                    r.items_migrated,
+                    r.phases.total()
+                )
+            })
             .unwrap_or_default();
         println!(
             "  {kind} t={:>7} {} -> {} nodes{migrated}",
@@ -70,8 +80,7 @@ fn main() {
 
     println!("\nper-minute timeline (hit rate / p95 ms):");
     for p in result.timeline.iter().filter(|p| p.second % 60 == 0) {
-        let bar: String =
-            std::iter::repeat_n('#', (p.hit_rate * 30.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (p.hit_rate * 30.0) as usize).collect();
         println!(
             "  min {:>2}  hit {:.3} {bar:<30} p95 {:>8.2} ms",
             p.second / 60,

@@ -53,8 +53,10 @@ fn main() {
     assert_eq!(fc, sm, "fusecache and sort-merge must agree");
 
     println!("algorithm        time         complexity");
-    println!("fusecache    {t_fc:>10.2?}     O(k log^2 n)  ({} rounds, {} comparisons)",
-        stats.rounds, stats.comparisons);
+    println!(
+        "fusecache    {t_fc:>10.2?}     O(k log^2 n)  ({} rounds, {} comparisons)",
+        stats.rounds, stats.comparisons
+    );
     println!("k-way heap   {t_kw:>10.2?}     O(n log k)");
     println!("sort merge   {t_sm:>10.2?}     O(N log N)");
 

@@ -59,12 +59,18 @@ fn main() {
             ImportMode::Merge,
         )
         .expect("migration succeeds");
-        println!("  retire {id}: {:>6} items, {}", report.items_migrated, report.bytes_migrated);
+        println!(
+            "  retire {id}: {:>6} items, {}",
+            report.items_migrated, report.bytes_migrated
+        );
         by_choice.push((id, report.items_migrated));
     }
 
     let (chosen, _) = choose_retiring(&cluster.tier, 1);
-    let best = by_choice.iter().min_by_key(|(_, items)| *items).expect("nonempty");
+    let best = by_choice
+        .iter()
+        .min_by_key(|(_, items)| *items)
+        .expect("nonempty");
     println!(
         "\nscoring picked {}, cheapest was {} -> {}",
         chosen[0],

@@ -39,7 +39,10 @@ fn main() {
             .set(key, size, SimTime::from_secs(1 + k))
             .expect("fits");
     }
-    println!("warmed {} items across the tier", cluster.tier.total_items());
+    println!(
+        "warmed {} items across the tier",
+        cluster.tier.total_items()
+    );
 
     // Measure hit rate before scaling.
     let probe = |cluster: &mut Cluster, at: SimTime| -> f64 {
@@ -52,7 +55,10 @@ fn main() {
         }
         f64::from(hits) / 5000.0
     };
-    println!("hit rate before scale-in: {:.3}", probe(&mut cluster, SimTime::from_secs(10_000)));
+    println!(
+        "hit rate before scale-in: {:.3}",
+        probe(&mut cluster, SimTime::from_secs(10_000))
+    );
 
     // ElMem scale-in: score nodes, migrate the hottest data, flip.
     let (victims, scored) = choose_retiring(&cluster.tier, 1);
@@ -68,7 +74,10 @@ fn main() {
         ImportMode::Merge,
     )
     .expect("migration succeeds");
-    cluster.tier.commit_remove(&victims).expect("commit succeeds");
+    cluster
+        .tier
+        .commit_remove(&victims)
+        .expect("commit succeeds");
     println!(
         "\nretired {:?}: migrated {} items ({}) in {} (modeled)",
         victims,

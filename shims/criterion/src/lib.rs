@@ -147,7 +147,10 @@ fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
             format!("  ({:.2} Melem/s)", n as f64 / ns_per_iter * 1e3)
         }
         Some(Throughput::Bytes(n)) => {
-            format!("  ({:.2} MiB/s)", n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0))
+            format!(
+                "  ({:.2} MiB/s)",
+                n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0)
+            )
         }
         None => String::new(),
     };

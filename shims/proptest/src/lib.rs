@@ -397,7 +397,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Asserts a property condition (no shrinking: forwards to `assert!`).
@@ -519,10 +521,7 @@ mod tests {
 
     #[test]
     fn oneof_covers_all_arms() {
-        let s = prop_oneof![
-            (0u64..1).prop_map(|_| 'a'),
-            (0u64..1).prop_map(|_| 'b'),
-        ];
+        let s = prop_oneof![(0u64..1).prop_map(|_| 'a'), (0u64..1).prop_map(|_| 'b'),];
         let mut rng = crate::rng::TestRng::seed(3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {

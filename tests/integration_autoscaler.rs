@@ -63,10 +63,7 @@ fn steady_low_demand_never_scales_out() {
     let trace = DemandTrace::new(vec![0.2; 11], SimTime::from_secs(30));
     let result = run_experiment(config(trace, 300.0, 43));
     for ev in &result.events {
-        assert!(
-            ev.to_nodes < ev.from_nodes,
-            "low demand must not scale out"
-        );
+        assert!(ev.to_nodes < ev.from_nodes, "low demand must not scale out");
     }
 }
 
@@ -95,8 +92,7 @@ fn hit_rate_stays_adequate_after_autoscaling() {
     }
     // Average miss throughput late in the run.
     let total_lookups: u64 = late.iter().map(|p| p.requests * 3).sum();
-    let miss_rate =
-        1.0 - late.iter().map(|p| p.hit_rate).sum::<f64>() / late.len() as f64;
+    let miss_rate = 1.0 - late.iter().map(|p| p.hit_rate).sum::<f64>() / late.len() as f64;
     let misses_per_sec = miss_rate * total_lookups as f64 / late.len() as f64;
     assert!(
         misses_per_sec < r_db * 1.5,

@@ -85,8 +85,7 @@ fn expired_only_victim_migrates_then_expires_everywhere() {
     let mut hits = 0;
     for k in 0..500u64 {
         let owner = c.tier.node_for_key(KeyId(k)).unwrap();
-        if c
-            .tier
+        if c.tier
             .node_mut(owner)
             .unwrap()
             .store

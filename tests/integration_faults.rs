@@ -86,11 +86,7 @@ fn destination_crash_in_phase3_aborts_and_commits_consistently() {
     // A retained destination: the highest node id that is not retiring
     // (moves are applied in ascending destination order, so earlier
     // destinations get their imports before the abort).
-    let dest = (0..4u32)
-        .rev()
-        .map(NodeId)
-        .find(|&n| n != victim)
-        .unwrap();
+    let dest = (0..4u32).rev().map(NodeId).find(|&n| n != victim).unwrap();
     // Land the crash just inside the data-migration window.
     let crash_at = phase2_end + SimTime::from_nanos(1);
     assert!(crash_at > decided_at);
@@ -120,7 +116,12 @@ fn identical_seeds_give_bit_identical_faulty_timelines() {
     let crash_at = decided_at + (phase1_end - decided_at).mul_f64(0.5);
     let plan = FaultPlan::new()
         .crash(crash_at, victim)
-        .slow_link(SimTime::from_secs(10), NodeId(1), 4.0, SimTime::from_secs(30))
+        .slow_link(
+            SimTime::from_secs(10),
+            NodeId(1),
+            4.0,
+            SimTime::from_secs(30),
+        )
         .drop_transfers_with_prob(0.2);
     let a = run_experiment(config(plan.clone()));
     let b = run_experiment(config(plan));
@@ -160,12 +161,8 @@ fn crashed_node_degrades_service_but_run_survives() {
 fn link_slowdown_stretches_migration() {
     let (clean, decided_at, victim, _, _) = probe();
     // Slow the retiring source's NIC 8x across the whole migration.
-    let plan = FaultPlan::new().slow_link(
-        SimTime::from_secs(35),
-        victim,
-        8.0,
-        SimTime::from_secs(200),
-    );
+    let plan =
+        FaultPlan::new().slow_link(SimTime::from_secs(35), victim, 8.0, SimTime::from_secs(200));
     let slow = run_experiment(config(plan));
     assert_eq!(slow.events.len(), 1);
     let slow_ev = &slow.events[0];

@@ -61,7 +61,10 @@ fn without_healing_the_corpse_stays_and_clients_pay_timeouts() {
         r.client_timeouts,
         r.fast_failovers
     );
-    assert!(r.breaker_transitions >= 2, "closed -> open, then half-open probes");
+    assert!(
+        r.breaker_transitions >= 2,
+        "closed -> open, then half-open probes"
+    );
     assert_eq!(r.probes_sent, 0, "no detector configured");
 }
 
@@ -76,8 +79,7 @@ fn crash_is_detected_within_the_suspicion_window_and_evicted() {
     // Threshold lost probes at interval+jitter each, plus one round of
     // phase alignment: the suspicion window.
     let d = healing.detector;
-    let window = (d.probe_interval + d.jitter)
-        * u64::from(d.suspicion_threshold + 1);
+    let window = (d.probe_interval + d.jitter) * u64::from(d.suspicion_threshold + 1);
     let latency = rec.detection_latency().expect("crash time known");
     assert!(
         latency <= window,

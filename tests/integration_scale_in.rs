@@ -79,12 +79,13 @@ fn migration_under_memory_pressure_keeps_sorted_lists() {
         let key = KeyId(k);
         let owner = cluster.tier.node_for_key(key).unwrap();
         let size = cluster.keyspace().value_size(key);
-        let _ = cluster
-            .tier
-            .node_mut(owner)
-            .unwrap()
-            .store
-            .set(key, size, SimTime::from_secs(1 + k));
+        let _ =
+            cluster
+                .tier
+                .node_mut(owner)
+                .unwrap()
+                .store
+                .set(key, size, SimTime::from_secs(1 + k));
     }
     assert!(cluster.tier.total_items() > 0);
 

@@ -6,9 +6,7 @@
 
 use elmem::cluster::ClusterConfig;
 use elmem::core::migration::MigrationCosts;
-use elmem::core::{
-    run_experiment, ExperimentConfig, FaultPlan, MigrationPolicy, ScaleAction,
-};
+use elmem::core::{run_experiment, ExperimentConfig, FaultPlan, MigrationPolicy, ScaleAction};
 use elmem::util::{NodeId, SimTime};
 use elmem::workload::{DemandTrace, Keyspace, WorkloadConfig};
 use proptest::prelude::*;
@@ -46,7 +44,12 @@ fn build_plan(raw: &[RawFault], meta_drop: f64, data_drop: f64) -> FaultPlan {
         let node = NodeId(node);
         plan = match kind % 3 {
             0 => plan.crash(at, node),
-            1 => plan.slow_link(at, node, 2.0 + (extra % 14) as f64, SimTime::from_secs(10 + extra)),
+            1 => plan.slow_link(
+                at,
+                node,
+                2.0 + (extra % 14) as f64,
+                SimTime::from_secs(10 + extra),
+            ),
             _ => plan.partition(at, node, SimTime::from_secs(1 + extra % 20)),
         };
     }

@@ -46,7 +46,12 @@ fn build_plan(raw: &[RawFault]) -> FaultPlan {
         let node = NodeId(node);
         plan = match kind % 3 {
             0 => plan.crash(at, node),
-            1 => plan.slow_link(at, node, 2.0 + (extra % 14) as f64, SimTime::from_secs(10 + extra)),
+            1 => plan.slow_link(
+                at,
+                node,
+                2.0 + (extra % 14) as f64,
+                SimTime::from_secs(10 + extra),
+            ),
             _ => plan.partition(at, node, SimTime::from_secs(1 + extra % 20)),
         };
     }
