@@ -207,6 +207,7 @@ mod tests {
             client_timeouts: 0,
             fast_failovers: 0,
             breaker_transitions: 0,
+            telemetry: Default::default(),
             probes_sent: 0,
             detector_transitions: 0,
         }

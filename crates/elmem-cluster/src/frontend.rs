@@ -9,7 +9,9 @@ use elmem_workload::{Keyspace, WebRequest};
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::config::ClusterConfig;
 use crate::db::DbModel;
+use crate::telemetry::{ClusterTelemetry, LookupClass};
 use crate::tier::CacheTier;
+use elmem_util::TelemetryConfig;
 
 /// Result of serving one web request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +64,7 @@ pub struct Cluster {
     breakers: BTreeMap<NodeId, CircuitBreaker>,
     client_timeouts: u64,
     fast_failovers: u64,
+    telemetry: ClusterTelemetry,
 }
 
 impl Cluster {
@@ -84,12 +87,31 @@ impl Cluster {
             breakers: BTreeMap::new(),
             client_timeouts: 0,
             fast_failovers: 0,
+            telemetry: ClusterTelemetry::default(),
         }
     }
 
     /// The keyspace driving value sizes.
     pub fn keyspace(&self) -> &Keyspace {
         &self.keyspace
+    }
+
+    /// Arms event tracing per the given config. Histograms and per-node
+    /// counters are always recorded; only the trace needs arming.
+    pub fn set_telemetry_config(&mut self, config: &TelemetryConfig) {
+        self.telemetry.configure(config);
+    }
+
+    /// The serving path's telemetry (histograms, counters, event trace).
+    pub fn telemetry(&self) -> &ClusterTelemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access — the control plane records its events
+    /// (probe outcomes, migration phases, scaling decisions) into the same
+    /// trace so one dump holds the whole story in one clock.
+    pub fn telemetry_mut(&mut self) -> &mut ClusterTelemetry {
+        &mut self.telemetry
     }
 
     /// Serves one web request at its arrival time.
@@ -112,12 +134,15 @@ impl Cluster {
         } else {
             sum / req.keys.len() as u64
         };
-        RequestOutcome {
+        let outcome = RequestOutcome {
             rt: overhead + mean,
             completion: now + overhead + worst,
             hits,
             lookups: req.keys.len() as u64,
-        }
+        };
+        self.telemetry
+            .on_request(now, outcome.rt, outcome.hits, outcome.lookups);
+        outcome
     }
 
     /// One cache lookup with fill-on-miss; returns (latency, hit).
@@ -129,7 +154,9 @@ impl Cluster {
     pub fn lookup_and_fill(&mut self, key: KeyId, now: SimTime) -> (SimTime, bool) {
         let Some(node_id) = self.tier.node_for_key(key) else {
             // No cache tier at all: straight to the database.
-            return (self.db.fetch(now).completion() - now, false);
+            let latency = self.db.fetch(now).completion() - now;
+            self.telemetry.on_lookup(None, LookupClass::Miss, latency);
+            return (latency, false);
         };
         let timeout = self.tier.config().client_timeout;
         let (reachable, slowdown) = {
@@ -140,18 +167,28 @@ impl Cluster {
         // past the client timeout the node is as good as dead.
         let cache_latency = self.mc_latency().mul_f64(slowdown);
         if !reachable || cache_latency >= timeout {
-            return (self.failover(node_id, now), false);
+            let latency = self.failover(node_id, now);
+            self.telemetry
+                .on_lookup(Some(node_id), LookupClass::Failover, latency);
+            return (latency, false);
         }
+        let before = self.breaker(node_id).state();
         self.breaker(node_id).record_success(now);
+        let after = self.breaker(node_id).state();
+        self.telemetry.on_breaker(now, node_id, before, after);
         let hit = {
             let node = self.tier.node_mut(node_id).expect("member node exists");
             node.store.get(key, now).is_some()
         };
         if hit {
+            self.telemetry
+                .on_lookup(Some(node_id), LookupClass::Hit, cache_latency);
             return (cache_latency, true);
         }
         // CacheScale path: retry on the secondary (retiring) nodes.
         if let Some(promoted) = self.try_secondary(key, node_id, now) {
+            self.telemetry
+                .on_lookup(Some(node_id), LookupClass::Hit, promoted);
             return (promoted, true);
         }
         // Miss: fetch from the database and fill the cache. A shed
@@ -163,7 +200,10 @@ impl Cluster {
             let node = self.tier.node_mut(node_id).expect("member node exists");
             let _ = node.store.set(key, size, now);
         }
-        (fetch.completion() - now + cache_latency, false)
+        let latency = fetch.completion() - now + cache_latency;
+        self.telemetry
+            .on_lookup(Some(node_id), LookupClass::Miss, latency);
+        (latency, false)
     }
 
     /// A lookup whose owner cannot answer. With the breaker closed the
@@ -172,13 +212,22 @@ impl Cluster {
     /// open it fails over immediately.
     fn failover(&mut self, node_id: NodeId, now: SimTime) -> SimTime {
         let timeout = self.tier.config().client_timeout;
-        let breaker = self.breaker(node_id);
-        let charged = if breaker.allows(now) {
-            breaker.record_failure(now);
+        // Capture breaker state around each step so the trace sees every
+        // edge (an open → half-open → open probe cycle is two events).
+        let before = self.breaker(node_id).state();
+        let allowed = self.breaker(node_id).allows(now);
+        let probing = self.breaker(node_id).state();
+        self.telemetry.on_breaker(now, node_id, before, probing);
+        let charged = if allowed {
+            self.breaker(node_id).record_failure(now);
+            let after = self.breaker(node_id).state();
+            self.telemetry.on_breaker(now, node_id, probing, after);
             self.client_timeouts += 1;
+            self.telemetry.on_client_timeout(now, node_id);
             timeout
         } else {
             self.fast_failovers += 1;
+            self.telemetry.on_fast_failover(now, node_id);
             SimTime::ZERO
         };
         let fetch = self.db.fetch(now + charged);

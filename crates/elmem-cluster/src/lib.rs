@@ -37,6 +37,7 @@ pub mod config;
 pub mod db;
 pub mod frontend;
 pub mod node;
+pub mod telemetry;
 pub mod tier;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -44,4 +45,5 @@ pub use config::ClusterConfig;
 pub use db::DbModel;
 pub use frontend::{Cluster, RequestOutcome};
 pub use node::{CacheNode, NodeHealth};
+pub use telemetry::{ClusterTelemetry, LookupClass, NodeCounters};
 pub use tier::CacheTier;

@@ -11,15 +11,21 @@ use elmem_cluster::{Cluster, ClusterConfig};
 use elmem_sim::fault::{FaultAction, FaultInjector, FaultPlan};
 use elmem_sim::EventQueue;
 use elmem_util::stats::{TimelinePoint, TimelineRecorder};
-use elmem_util::{DetRng, NodeId, SimTime};
+use elmem_util::telemetry::EventKind;
+use elmem_util::{DetRng, NodeId, SimTime, TelemetryConfig};
 use elmem_workload::{RequestGenerator, WorkloadConfig};
 
 use crate::autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
-use crate::healing::{ConfirmedDeath, FailureDetector, HealingConfig, RecoveryEvent};
+use crate::healing::{
+    ConfirmedDeath, FailureDetector, HealingConfig, NodeState, ProbeOutcome, RecoveryEvent,
+};
 use crate::master::{DeferredKind, Master};
 use crate::migration::{MigrationCosts, MigrationReport, Supervision};
 use crate::policies::MigrationPolicy;
 use crate::predictive::{PredictiveAutoScaler, PredictiveConfig};
+use crate::telemetry::{
+    probe_class, record_migration_events, SeriesRecorder, TelemetryDump, TierSnapshot,
+};
 
 /// A scripted scaling action (used when experiments pin the scaling moment
 /// instead of running the AutoScaler).
@@ -112,6 +118,10 @@ pub struct ExperimentResult {
     pub probes_sent: u64,
     /// Failure-detector state transitions (flap metric; 0 without healing).
     pub detector_transitions: u64,
+    /// The run's full telemetry story: event trace, latency histograms,
+    /// counter time series, per-node rows. Byte-identical (via
+    /// [`TelemetryDump::to_json`]) across same-seed runs.
+    pub telemetry: TelemetryDump,
 }
 
 impl ExperimentResult {
@@ -204,12 +214,14 @@ fn try_recover(
     control: &mut EventQueue<ControlEvent>,
     recoveries: &mut Vec<RecoveryEvent>,
     injector: &mut FaultInjector,
+    bytes_migrated: &mut u64,
 ) {
     if pending.is_empty() || !master.is_idle(now) {
         return;
     }
     let deaths = std::mem::take(pending);
     let dead: Vec<NodeId> = deaths.iter().map(|d| d.node).collect();
+    let members_before = cluster.tier.membership().len() as u32;
     let mut supervision = Supervision::with_faults(injector);
     let orch = match master.recover_supervised(cluster, &dead, now, healing, &mut supervision) {
         Ok(orch) => orch,
@@ -222,12 +234,37 @@ fn try_recover(
             committed_at: now,
         },
     };
+    // The eviction flips the membership inline; replacements join later
+    // via deferred commits (traced when they land).
+    let members_now = cluster.tier.membership().len() as u32;
+    if members_now != members_before {
+        cluster.telemetry_mut().trace.record(
+            now,
+            None,
+            EventKind::MembershipCommitted {
+                members: members_now,
+            },
+        );
+    }
+    if let Some(report) = &orch.report {
+        *bytes_migrated += report.bytes_migrated.as_u64();
+        record_migration_events(&mut cluster.telemetry_mut().trace, report);
+    }
     for deferred in &orch.deferred {
         control.schedule(deferred.at, ControlEvent::Deferred(deferred.kind.clone()));
     }
     // One replacement per death, paired in order (empty for evict-only).
     for (i, death) in deaths.iter().enumerate() {
         let replacement = orch.nodes.get(i).copied();
+        let warmed = healing.warmup && replacement.is_some();
+        cluster.telemetry_mut().trace.record(
+            orch.committed_at,
+            Some(death.node),
+            EventKind::RecoveryCompleted {
+                replacement,
+                warmed,
+            },
+        );
         recoveries.push(RecoveryEvent {
             node: death.node,
             crashed_at: injector.crash_time(death.node),
@@ -235,19 +272,61 @@ fn try_recover(
             confirmed_at: death.confirmed_at,
             replacement,
             recovered_at: orch.committed_at,
-            warmed: healing.warmup && replacement.is_some(),
+            warmed,
         });
     }
 }
 
+/// Traces one heartbeat round's observations: every non-ack probe outcome,
+/// plus the suspicion/death edges it caused.
+fn record_probe_observations(
+    cluster: &mut Cluster,
+    at: SimTime,
+    observations: &[crate::healing::ProbeObservation],
+) {
+    for obs in observations {
+        let trace = &mut cluster.telemetry_mut().trace;
+        if obs.outcome != ProbeOutcome::Ack {
+            trace.record(
+                at,
+                Some(obs.node),
+                EventKind::Probe {
+                    outcome: probe_class(obs.outcome),
+                },
+            );
+        }
+        if obs.before != obs.after {
+            match obs.after {
+                NodeState::Suspected => trace.record(at, Some(obs.node), EventKind::NodeSuspected),
+                NodeState::ConfirmedDead => {
+                    trace.record(at, Some(obs.node), EventKind::NodeConfirmedDead)
+                }
+                NodeState::Alive => {}
+            }
+        }
+    }
+}
+
 /// Runs one experiment to completion. Deterministic in `config.seed`.
+/// Telemetry runs with [`TelemetryConfig::default`] (event tracing on,
+/// per-request events off, 1 s series windows).
 pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
+    run_experiment_with_telemetry(config, TelemetryConfig::default())
+}
+
+/// [`run_experiment`] with explicit telemetry knobs (trace capacity,
+/// per-request events, series window).
+pub fn run_experiment_with_telemetry(
+    config: ExperimentConfig,
+    tcfg: TelemetryConfig,
+) -> ExperimentResult {
     let rng = DetRng::seed(config.seed);
     let mut cluster = Cluster::new(
         config.cluster.clone(),
         config.workload.keyspace.clone(),
         rng.split("cluster"),
     );
+    cluster.set_telemetry_config(&tcfg);
     let mut gen = RequestGenerator::new(config.workload.clone(), rng.split("workload"));
     let mut master = Master::new(config.policy, config.costs, config.seed);
 
@@ -279,6 +358,8 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
 
     let mut recorder = TimelineRecorder::new();
+    let mut series = SeriesRecorder::new(tcfg.sample_every);
+    let mut bytes_migrated = 0u64;
     let mut events: Vec<ScalingEvent> = Vec::new();
     let mut lookups_since = 0u64;
     let mut rate_anchor = SimTime::ZERO;
@@ -299,16 +380,20 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
                 (None, None) => break,
                 (Some(tf), tc) if tc.is_none_or(|tc| tf <= tc) => {
                     for (_, action) in injector.due(tf) {
-                        apply_fault(&mut cluster, &action);
+                        apply_fault(&mut cluster, &action, tf);
                     }
                 }
                 _ => {
                     let (at, ev) = control.pop().expect("peeked");
                     match ev {
-                        ControlEvent::Deferred(kind) => Master::apply(&mut cluster, &kind),
+                        ControlEvent::Deferred(kind) => {
+                            apply_deferred(&mut cluster, &kind, at);
+                        }
                         ControlEvent::Heartbeat => {
                             let det = detector.as_mut().expect("heartbeats imply a detector");
-                            pending_dead.extend(det.probe_round(&cluster, at));
+                            let (confirmed, observed) = det.probe_round_observed(&cluster, at);
+                            pending_dead.extend(confirmed);
+                            record_probe_observations(&mut cluster, at, &observed);
                             control.schedule(det.next_round_after(at), ControlEvent::Heartbeat);
                             let healing =
                                 config.healing.as_ref().expect("detector implies healing");
@@ -321,6 +406,7 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
                                 &mut control,
                                 &mut recoveries,
                                 &mut injector,
+                                &mut bytes_migrated,
                             );
                         }
                     }
@@ -340,6 +426,7 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
                 &mut control,
                 &mut events,
                 &mut injector,
+                &mut bytes_migrated,
             );
         }
 
@@ -371,6 +458,7 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
                         &mut control,
                         &mut events,
                         &mut injector,
+                        &mut bytes_migrated,
                     );
                 }
                 lookups_since = 0;
@@ -379,7 +467,10 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         }
 
         // 4. Serve the request.
+        let snap = TierSnapshot::take(&cluster, bytes_migrated);
+        series.advance(now, &snap);
         let outcome = cluster.handle(&req);
+        series.record_request(outcome.hits, outcome.lookups);
         if let Some(scaler) = autoscaler.as_mut() {
             for &key in &req.keys {
                 let footprint =
@@ -412,13 +503,15 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
     while let Some((at, ev)) = control.pop() {
         drain_end = drain_end.max(at);
         for (_, action) in injector.due(at) {
-            apply_fault(&mut cluster, &action);
+            apply_fault(&mut cluster, &action, at);
         }
         match ev {
-            ControlEvent::Deferred(kind) => Master::apply(&mut cluster, &kind),
+            ControlEvent::Deferred(kind) => apply_deferred(&mut cluster, &kind, at),
             ControlEvent::Heartbeat if at <= settle_until => {
                 let det = detector.as_mut().expect("heartbeats imply a detector");
-                pending_dead.extend(det.probe_round(&cluster, at));
+                let (confirmed, observed) = det.probe_round_observed(&cluster, at);
+                pending_dead.extend(confirmed);
+                record_probe_observations(&mut cluster, at, &observed);
                 control.schedule(det.next_round_after(at), ControlEvent::Heartbeat);
                 let healing = config.healing.as_ref().expect("detector implies healing");
                 try_recover(
@@ -430,6 +523,7 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
                     &mut control,
                     &mut recoveries,
                     &mut injector,
+                    &mut bytes_migrated,
                 );
             }
             ControlEvent::Heartbeat => {}
@@ -439,6 +533,7 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         // Deaths confirmed but still queued behind a busy Master when the
         // run ended: finish the recovery so the final membership is clean.
         let at = master.busy_until().max(drain_end);
+        drain_end = drain_end.max(at);
         try_recover(
             &mut cluster,
             &mut master,
@@ -448,10 +543,12 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
             &mut control,
             &mut recoveries,
             &mut injector,
+            &mut bytes_migrated,
         );
-        while let Some((_, ev)) = control.pop() {
+        while let Some((at, ev)) = control.pop() {
             if let ControlEvent::Deferred(kind) = ev {
-                Master::apply(&mut cluster, &kind);
+                drain_end = drain_end.max(at);
+                apply_deferred(&mut cluster, &kind, at);
             }
         }
     }
@@ -470,6 +567,10 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         })
         .count() as u32;
 
+    let final_snap = TierSnapshot::take(&cluster, bytes_migrated);
+    let series = series.finish(drain_end.max(last_now), &final_snap);
+    let telemetry = TelemetryDump::assemble(config.seed, &tcfg, &cluster, series);
+
     ExperimentResult {
         timeline: recorder.finish(),
         events,
@@ -482,29 +583,63 @@ pub fn run_experiment(config: ExperimentConfig) -> ExperimentResult {
         breaker_transitions: cluster.breaker_transitions(),
         probes_sent: detector.as_ref().map_or(0, |d| d.probes_sent()),
         detector_transitions: detector.as_ref().map_or(0, |d| d.transitions()),
+        telemetry,
     }
 }
 
-/// Applies one fault action to the serving stack. Actions against a node
-/// that has already left the tier are ignored.
-fn apply_fault(cluster: &mut Cluster, action: &FaultAction) {
+/// Applies one deferred Master action and traces the membership flip it
+/// causes (if any).
+fn apply_deferred(cluster: &mut Cluster, kind: &DeferredKind, at: SimTime) {
+    let before = cluster.tier.membership().len() as u32;
+    Master::apply(cluster, kind);
+    let after = cluster.tier.membership().len() as u32;
+    if after != before {
+        cluster.telemetry_mut().trace.record(
+            at,
+            None,
+            EventKind::MembershipCommitted { members: after },
+        );
+    }
+}
+
+/// Applies one fault action to the serving stack, tracing faults that
+/// landed. Actions against a node that has already left the tier are
+/// ignored (and not traced).
+fn apply_fault(cluster: &mut Cluster, action: &FaultAction, at: SimTime) {
     match *action {
         FaultAction::Crash(n) => {
-            let _ = cluster.tier.crash(n);
+            if cluster.tier.crash(n).is_ok() {
+                cluster
+                    .telemetry_mut()
+                    .trace
+                    .record(at, Some(n), EventKind::NodeCrashed);
+            }
         }
         FaultAction::SlowLink(n, factor) => {
             if let Ok(node) = cluster.tier.node_mut(n) {
                 node.link.apply_slowdown(factor);
+                cluster
+                    .telemetry_mut()
+                    .trace
+                    .record(at, Some(n), EventKind::LinkDegraded);
             }
         }
         FaultAction::RestoreLink(n) => {
             if let Ok(node) = cluster.tier.node_mut(n) {
                 node.link.restore_bandwidth();
+                cluster
+                    .telemetry_mut()
+                    .trace
+                    .record(at, Some(n), EventKind::LinkRestored);
             }
         }
         FaultAction::PartitionLink(n, until) => {
             if let Ok(node) = cluster.tier.node_mut(n) {
                 node.link.partition_until(until);
+                cluster
+                    .telemetry_mut()
+                    .trace
+                    .record(at, Some(n), EventKind::LinkPartitioned);
             }
         }
     }
@@ -519,6 +654,7 @@ fn trigger(
     control: &mut EventQueue<ControlEvent>,
     events: &mut Vec<ScalingEvent>,
     injector: &mut FaultInjector,
+    bytes_migrated: &mut u64,
 ) {
     let members = cluster.tier.membership().len() as u32;
     let mut supervision = Supervision::with_faults(injector);
@@ -564,6 +700,32 @@ fn trigger(
         })
         .sum();
     let to_nodes = (membership.len() as i64 + delta).max(1) as u32;
+    {
+        let trace = &mut cluster.telemetry_mut().trace;
+        trace.record(
+            now,
+            None,
+            EventKind::ScalingDecided {
+                from_nodes: members,
+                to_nodes,
+            },
+        );
+        if let Some(report) = &orch.report {
+            *bytes_migrated += report.bytes_migrated.as_u64();
+            record_migration_events(trace, report);
+        }
+        // Inline policies flip membership inside the scale call itself;
+        // deferred commits are traced when they land.
+        if delta == 0 && membership.len() as u32 != members {
+            trace.record(
+                orch.committed_at,
+                None,
+                EventKind::MembershipCommitted {
+                    members: membership.len() as u32,
+                },
+            );
+        }
+    }
     events.push(ScalingEvent {
         decided_at: now,
         committed_at: orch.committed_at,

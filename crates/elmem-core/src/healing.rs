@@ -126,6 +126,21 @@ pub struct ConfirmedDeath {
     pub confirmed_at: SimTime,
 }
 
+/// What one probe in a round saw and what it did to the detector's
+/// opinion — returned to the driver so it can trace probe outcomes and
+/// suspicion/death edges without holding a borrow on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeObservation {
+    /// The probed member.
+    pub node: NodeId,
+    /// What the probe saw.
+    pub outcome: ProbeOutcome,
+    /// The detector's opinion before this probe.
+    pub before: NodeState,
+    /// The detector's opinion after this probe.
+    pub after: NodeState,
+}
+
 /// The Master's heartbeat failure detector.
 ///
 /// Tracks every *member* of the client-visible ring; nodes that leave the
@@ -189,13 +204,25 @@ impl FailureDetector {
     /// Probes every current member at `now` and returns the deaths this
     /// round confirmed. Tracks for departed members are dropped.
     pub fn probe_round(&mut self, cluster: &Cluster, now: SimTime) -> Vec<ConfirmedDeath> {
+        self.probe_round_observed(cluster, now).0
+    }
+
+    /// [`Self::probe_round`], additionally reporting what every probe saw
+    /// and how it moved the detector's opinion (for the event trace).
+    pub fn probe_round_observed(
+        &mut self,
+        cluster: &Cluster,
+        now: SimTime,
+    ) -> (Vec<ConfirmedDeath>, Vec<ProbeObservation>) {
         let members = cluster.tier.membership().members().to_vec();
         self.tracks.retain(|id, _| members.contains(id));
         let mut confirmed = Vec::new();
+        let mut observations = Vec::with_capacity(members.len());
         for &id in &members {
             let outcome = self.probe(cluster, id, now);
             self.probes_sent += 1;
             let track = self.tracks.entry(id).or_insert_with(MemberTrack::new);
+            let before = track.state;
             match outcome {
                 ProbeOutcome::Ack => {
                     track.missed = 0;
@@ -228,8 +255,14 @@ impl FailureDetector {
                     }
                 }
             }
+            observations.push(ProbeObservation {
+                node: id,
+                outcome,
+                before,
+                after: track.state,
+            });
         }
-        confirmed
+        (confirmed, observations)
     }
 
     /// The detector's current opinion of a member (None if untracked).
@@ -453,6 +486,30 @@ mod tests {
         let confirmed = d.probe_round(&c, SimTime::from_secs(12));
         assert_eq!(confirmed.len(), 1);
         assert_eq!(confirmed[0].node, NodeId(3));
+    }
+
+    #[test]
+    fn probe_round_observed_reports_outcomes_and_edges() {
+        let mut c = cluster();
+        let mut d = detector();
+        c.tier.crash(NodeId(1)).unwrap();
+        let (confirmed, obs) = d.probe_round_observed(&c, SimTime::from_secs(1));
+        assert!(confirmed.is_empty());
+        assert_eq!(obs.len(), c.tier.membership().len());
+        let dead = obs.iter().find(|o| o.node == NodeId(1)).unwrap();
+        assert_eq!(dead.outcome, ProbeOutcome::Lost);
+        assert_eq!(dead.after, NodeState::Alive, "one lost probe is not death");
+        d.probe_round(&c, SimTime::from_secs(2));
+        // The third lost probe crosses the threshold: the edge is visible
+        // in the observation, not just in the confirmation list.
+        let (confirmed, obs) = d.probe_round_observed(&c, SimTime::from_secs(3));
+        assert_eq!(confirmed.len(), 1);
+        let dead = obs.iter().find(|o| o.node == NodeId(1)).unwrap();
+        assert_ne!(dead.before, NodeState::ConfirmedDead);
+        assert_eq!(dead.after, NodeState::ConfirmedDead);
+        let alive = obs.iter().find(|o| o.node == NodeId(0)).unwrap();
+        assert_eq!(alive.outcome, ProbeOutcome::Ack);
+        assert_eq!(alive.before, alive.after);
     }
 
     #[test]

@@ -43,17 +43,19 @@ pub mod migration;
 pub mod policies;
 pub mod predictive;
 pub mod scoring;
+pub mod telemetry;
 
 pub use autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
 pub use elasticity::{
-    run_experiment, ExperimentConfig, ExperimentResult, ScaleAction, ScalerConfig, ScalingEvent,
+    run_experiment, run_experiment_with_telemetry, ExperimentConfig, ExperimentResult, ScaleAction,
+    ScalerConfig, ScalingEvent,
 };
 pub use fusecache::{
     fusecache, fusecache_instrumented, kway_top_n, sort_merge_top_n, SelectionStats,
 };
 pub use healing::{
-    ConfirmedDeath, DetectorConfig, FailureDetector, HealingConfig, NodeState, ProbeOutcome,
-    RecoveryEvent, ReplacementPolicy,
+    ConfirmedDeath, DetectorConfig, FailureDetector, HealingConfig, NodeState, ProbeObservation,
+    ProbeOutcome, RecoveryEvent, ReplacementPolicy,
 };
 pub use master::{DeferredAction, DeferredKind, Master, Orchestration};
 pub use migration::{
@@ -62,6 +64,9 @@ pub use migration::{
     Supervision,
 };
 pub use predictive::{PredictiveAutoScaler, PredictiveConfig};
+pub use telemetry::{
+    record_migration_events, NodeDumpRow, SeriesPoint, SeriesRecorder, TelemetryDump, TierSnapshot,
+};
 // Re-exported so experiment configs can name their fault plan without
 // depending on `elmem-sim` directly.
 pub use elmem_sim::fault::{FaultKind, FaultPlan, ScheduledFault};

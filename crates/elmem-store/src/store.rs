@@ -74,6 +74,36 @@ pub struct StoreStats {
     pub expired: u64,
 }
 
+impl StoreStats {
+    /// Total `get` calls (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of `get` calls that hit (0.0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Adds another node's counters into this one, for tier-wide roll-ups
+    /// in telemetry dumps. Element-wise, so it is associative and
+    /// commutative like the histogram merge.
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.sets += other.sets;
+        self.evictions += other.evictions;
+        self.deletes += other.deletes;
+        self.imported += other.imported;
+        self.expired += other.expired;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Slot {
     item: Option<ItemMeta>,
@@ -884,6 +914,48 @@ impl Iterator for ClassMruIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_lookups_and_hit_rate() {
+        let s = StoreStats {
+            hits: 3,
+            misses: 1,
+            ..StoreStats::default()
+        };
+        assert_eq!(s.lookups(), 4);
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(StoreStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_is_elementwise() {
+        let a = StoreStats {
+            hits: 1,
+            misses: 2,
+            sets: 3,
+            evictions: 4,
+            deletes: 5,
+            imported: 6,
+            expired: 7,
+        };
+        let b = StoreStats {
+            hits: 10,
+            misses: 20,
+            sets: 30,
+            evictions: 40,
+            deletes: 50,
+            imported: 60,
+            expired: 70,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.hits, 11);
+        assert_eq!(ab.expired, 77);
+        assert_eq!(ab.lookups(), 33);
+    }
 
     fn small_store() -> SlabStore {
         SlabStore::new(StoreConfig {

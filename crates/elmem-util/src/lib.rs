@@ -25,11 +25,13 @@ pub mod error;
 pub mod hashutil;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use bytesize::ByteSize;
 pub use error::ElmemError;
 pub use rng::DetRng;
+pub use telemetry::{EventTrace, LatencyHistogram, TelemetryConfig};
 pub use time::SimTime;
 
 use serde::{Deserialize, Serialize};

@@ -4,8 +4,11 @@
 
 use elmem::cluster::ClusterConfig;
 use elmem::core::migration::MigrationCosts;
-use elmem::core::{run_experiment, ExperimentConfig, FaultPlan, MigrationPolicy, ScaleAction};
-use elmem::util::SimTime;
+use elmem::core::{
+    run_experiment, run_experiment_with_telemetry, ExperimentConfig, FaultPlan, MigrationPolicy,
+    ScaleAction,
+};
+use elmem::util::{SimTime, TelemetryConfig};
 use elmem::workload::{Keyspace, TraceKind, WorkloadConfig};
 
 fn config(seed: u64) -> ExperimentConfig {
@@ -43,6 +46,26 @@ fn same_seed_identical_results() {
     for (ea, eb) in a.events.iter().zip(&b.events) {
         assert_eq!(ea, eb);
     }
+}
+
+#[test]
+fn same_seed_identical_telemetry_dumps() {
+    // The full observability surface — event stream, latency histograms,
+    // counter series, per-node rows — must be byte-identical across two
+    // runs of the same seed, with request tracing on so the stream also
+    // carries one event per served request.
+    let tcfg = TelemetryConfig {
+        trace_requests: true,
+        ..TelemetryConfig::default()
+    };
+    let a = run_experiment_with_telemetry(config(99), tcfg);
+    let b = run_experiment_with_telemetry(config(99), tcfg);
+    assert_eq!(a.telemetry, b.telemetry);
+    assert_eq!(a.telemetry.to_json(), b.telemetry.to_json());
+    assert!(
+        a.telemetry.recorded_events > 0,
+        "request tracing must populate the stream"
+    );
 }
 
 #[test]
