@@ -10,6 +10,7 @@
 use elmem_bench::exp::{
     degradation_reduction, laptop_experiment, print_summary_row, print_timeline,
 };
+use elmem_bench::sweep;
 use elmem_core::{run_experiment, MigrationPolicy, ScaleAction};
 use elmem_util::SimTime;
 use elmem_workload::TraceKind;
@@ -25,20 +26,18 @@ fn main() {
     ];
 
     println!("== Fig. 2: post-scaling degradation (ETC, 10 -> 9 nodes) ==\n");
-    let baseline = run_experiment(laptop_experiment(
-        TraceKind::FacebookEtc,
-        10,
-        MigrationPolicy::Baseline,
-        scheduled.clone(),
-        seed,
-    ));
-    let elmem = run_experiment(laptop_experiment(
-        TraceKind::FacebookEtc,
-        10,
-        MigrationPolicy::elmem(),
-        scheduled,
-        seed,
-    ));
+    let cells = [MigrationPolicy::Baseline, MigrationPolicy::elmem()];
+    let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, policy| {
+        run_experiment(laptop_experiment(
+            TraceKind::FacebookEtc,
+            10,
+            *policy,
+            scheduled.clone(),
+            seed,
+        ))
+    });
+    let elmem = results.pop().expect("elmem cell ran");
+    let baseline = results.pop().expect("baseline cell ran");
 
     print_timeline("baseline", &baseline.timeline, 30);
     println!();

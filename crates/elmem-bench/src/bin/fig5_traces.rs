@@ -4,14 +4,14 @@
 //! Prints one column per trace, one row per minute, matching the shapes of
 //! the paper's Fig. 5 panels.
 
+use elmem_bench::sweep;
 use elmem_workload::TraceKind;
 
 fn main() {
     println!("== Fig. 5: normalized request-rate traces ==\n");
-    let traces: Vec<_> = TraceKind::ALL
-        .iter()
-        .map(|k| (k.name(), k.demand_trace()))
-        .collect();
+    let traces = sweep::run_cells(sweep::jobs_from_cli(), &TraceKind::ALL, |_, k| {
+        (k.name(), k.demand_trace())
+    });
     print!("{:>4}", "min");
     for (name, _) in &traces {
         print!(" {name:>10}");

@@ -13,6 +13,7 @@
 use elmem_bench::exp::{
     degradation_reduction, laptop_experiment, post_event_window_p95, print_summary_row,
 };
+use elmem_bench::sweep;
 use elmem_core::{run_experiment, MigrationPolicy, ScaleAction};
 use elmem_util::SimTime;
 use elmem_workload::TraceKind;
@@ -69,23 +70,33 @@ fn main() {
     ];
 
     println!("== Fig. 6: ElMem vs baseline across all traces ==");
-    for (trace, nodes, scheduled, label) in cases {
-        println!("\n-- {label} --");
+    // 10 independent cells (5 cases × 2 policies): run them all through the
+    // sweep harness, then format per case in order.
+    let cells: Vec<(&Case, MigrationPolicy)> = cases
+        .iter()
+        .flat_map(|case| {
+            [
+                (case, MigrationPolicy::Baseline),
+                (case, MigrationPolicy::elmem()),
+            ]
+        })
+        .collect();
+    let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, (case, policy)| {
+        let (trace, nodes, scheduled, _) = case;
         let seed = 1000 + trace.name().len() as u64;
-        let baseline = run_experiment(laptop_experiment(
-            trace,
-            nodes,
-            MigrationPolicy::Baseline,
+        run_experiment(laptop_experiment(
+            *trace,
+            *nodes,
+            *policy,
             scheduled.clone(),
             seed,
-        ));
-        let elmem = run_experiment(laptop_experiment(
-            trace,
-            nodes,
-            MigrationPolicy::elmem(),
-            scheduled,
-            seed,
-        ));
+        ))
+    })
+    .into_iter();
+    for (_, _, _, label) in &cases {
+        println!("\n-- {label} --");
+        let baseline = results.next().expect("baseline cell ran");
+        let elmem = results.next().expect("elmem cell ran");
         print_summary_row("baseline", &baseline);
         print_summary_row("elmem", &elmem);
         let mean_hit = |tl: &[elmem_util::stats::TimelinePoint]| -> f64 {

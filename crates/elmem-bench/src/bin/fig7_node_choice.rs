@@ -9,6 +9,7 @@
 //! vs 7.4 M worst).
 
 use elmem_bench::exp::{laptop_cluster, laptop_workload, PREFILL_RANKS};
+use elmem_bench::sweep;
 use elmem_cluster::Cluster;
 use elmem_core::migration::{migrate_scale_in, MigrationCosts};
 use elmem_core::scoring::node_score;
@@ -59,24 +60,27 @@ fn main() {
         "{:>5} {:>14} {:>16} {:>14}",
         "rank", "node", "median score", "items migrated"
     );
-    let mut migrated: Vec<u64> = Vec::new();
-    for (rank, (id, score)) in scored.iter().enumerate() {
+    // Each candidate retirement is simulated on its own clone of the warmed
+    // tier — independent cells for the sweep harness.
+    let migrated: Vec<u64> = sweep::run_cells(sweep::jobs_from_cli(), &scored, |_, (id, _)| {
         let mut trial = cluster.tier.clone();
-        let report = migrate_scale_in(
+        migrate_scale_in(
             &mut trial,
             &[*id],
             SimTime::from_secs(200),
             &MigrationCosts::default(),
             ImportMode::Merge,
         )
-        .expect("migration succeeds");
-        migrated.push(report.items_migrated);
+        .expect("migration succeeds")
+        .items_migrated
+    });
+    for (rank, ((id, score), items)) in scored.iter().zip(&migrated).enumerate() {
         println!(
             "{:>5} {:>14} {:>16.4} {:>14}",
             rank + 1,
             id.to_string(),
             score,
-            report.items_migrated
+            items
         );
     }
 

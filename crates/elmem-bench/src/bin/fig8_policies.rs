@@ -8,6 +8,7 @@
 use elmem_bench::exp::{
     degradation_reduction, laptop_experiment, print_summary_row, print_timeline,
 };
+use elmem_bench::sweep;
 use elmem_core::{run_experiment, MigrationPolicy, ScaleAction};
 use elmem_util::SimTime;
 use elmem_workload::TraceKind;
@@ -17,9 +18,15 @@ fn main() {
     let seed = 88;
     let scheduled = vec![(SimTime::from_secs(30 * 60), ScaleAction::In { count: 3 })];
 
-    let mk = |policy: MigrationPolicy| {
+    let cells = [
+        MigrationPolicy::elmem(),
+        MigrationPolicy::Naive,
+        MigrationPolicy::cachescale(),
+        MigrationPolicy::Baseline,
+    ];
+    let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, policy| {
         let mut cfg =
-            laptop_experiment(TraceKind::FacebookSys, 10, policy, scheduled.clone(), seed);
+            laptop_experiment(TraceKind::FacebookSys, 10, *policy, scheduled.clone(), seed);
         // A slightly flatter popularity (Zipf 0.95) puts real mass in the
         // mid-tail, where the policies' data-placement quality differs,
         // while keeping the post-scaling steady state inside the database's
@@ -31,11 +38,12 @@ fn main() {
         // with symmetric nodes the two keep literally the same item set.
         cfg.cluster.vnodes = 8;
         run_experiment(cfg)
-    };
-    let elmem = mk(MigrationPolicy::elmem());
-    let naive = mk(MigrationPolicy::Naive);
-    let cachescale = mk(MigrationPolicy::cachescale());
-    let baseline = mk(MigrationPolicy::Baseline);
+    })
+    .into_iter();
+    let elmem = results.next().expect("elmem cell ran");
+    let naive = results.next().expect("naive cell ran");
+    let cachescale = results.next().expect("cachescale cell ran");
+    let baseline = results.next().expect("baseline cell ran");
 
     print_summary_row("elmem", &elmem);
     print_summary_row("naive", &naive);

@@ -12,6 +12,7 @@
 use elmem_bench::exp::{
     laptop_cluster, laptop_experiment, laptop_workload, print_summary_row, PREFILL_RANKS,
 };
+use elmem_bench::sweep;
 use elmem_cluster::Cluster;
 use elmem_core::migration::{migrate_scale_in, MigrationCosts};
 use elmem_core::scoring::node_score;
@@ -36,18 +37,21 @@ fn main() {
 fn ablate_import_mode() {
     println!("== Ablation 1: batch-import mode (ETC, 10 -> 9) ==\n");
     let scheduled = vec![(minutes(25), ScaleAction::In { count: 1 })];
-    for (label, mode) in [
+    let cells = [
         ("merge", ImportMode::Merge),
         ("prepend", ImportMode::Prepend),
-    ] {
-        let result = run_experiment(laptop_experiment(
+    ];
+    let results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, (_, mode)| {
+        run_experiment(laptop_experiment(
             TraceKind::FacebookEtc,
             10,
-            MigrationPolicy::ElMem { import: mode },
+            MigrationPolicy::ElMem { import: *mode },
             scheduled.clone(),
             411,
-        ));
-        print_summary_row(label, &result);
+        ))
+    });
+    for ((label, _), result) in cells.iter().zip(&results) {
+        print_summary_row(label, result);
     }
     println!(
         "(FuseCache guarantees migrated items are hotter than evicted ones,\n so both modes keep the same item set; Merge additionally preserves\n the sorted-list invariant that later FuseCache runs rely on)\n"
@@ -57,7 +61,8 @@ fn ablate_import_mode() {
 fn ablate_cachescale_window() {
     println!("== Ablation 2: CacheScale discard window (SYS, 10 -> 7) ==\n");
     let scheduled = vec![(minutes(30), ScaleAction::In { count: 3 })];
-    for window_s in [30u64, 120, 480] {
+    let cells = [30u64, 120, 480];
+    let results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, &window_s| {
         let mut cfg = laptop_experiment(
             TraceKind::FacebookSys,
             10,
@@ -68,8 +73,10 @@ fn ablate_cachescale_window() {
             412,
         );
         cfg.workload.zipf_exponent = 0.95;
-        let result = run_experiment(cfg);
-        print_summary_row(&format!("window={window_s}s"), &result);
+        run_experiment(cfg)
+    });
+    for (window_s, result) in cells.iter().zip(&results) {
+        print_summary_row(&format!("window={window_s}s"), result);
     }
     println!(
         "(longer windows promote more items before the discard but keep the\n retiring nodes powered longer — the elasticity savings erode)\n"
@@ -82,7 +89,8 @@ fn ablate_vnodes() {
         "{:>7} {:>16} {:>16} {:>10}",
         "vnodes", "coldest (items)", "worst (items)", "spread"
     );
-    for vnodes in [8u32, 32, 128] {
+    let cells = [8u32, 32, 128];
+    let results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, &vnodes| {
         let seed = 413;
         let mut cluster_cfg = laptop_cluster(10);
         cluster_cfg.vnodes = vnodes;
@@ -127,9 +135,12 @@ fn ablate_vnodes() {
             .map(|&(id, _)| migrated_for(id))
             .max()
             .unwrap();
+        (coldest, worst)
+    });
+    for (vnodes, (coldest, worst)) in cells.iter().zip(&results) {
         println!(
             "{vnodes:>7} {coldest:>16} {worst:>16} {:>9.0}%",
-            (worst as f64 / coldest as f64 - 1.0) * 100.0
+            (*worst as f64 / *coldest as f64 - 1.0) * 100.0
         );
     }
     println!(

@@ -9,6 +9,7 @@
 //! the database never sees more than `r_DB` misses per second for long.
 
 use elmem_bench::exp::{laptop_cluster, laptop_workload, PREFILL_RANKS};
+use elmem_bench::sweep;
 use elmem_core::migration::MigrationCosts;
 use elmem_core::{
     run_experiment, AutoScaler, AutoScalerConfig, ExperimentConfig, FaultPlan, MigrationPolicy,
@@ -78,7 +79,9 @@ fn main() {
         SimTime::from_secs(120),
     );
     let r_db = cluster.r_db();
-    let result = run_experiment(ExperimentConfig {
+    // One end-to-end cell, run through the sweep harness like every other
+    // fig/tab binary.
+    let cells = [ExperimentConfig {
         cluster,
         workload,
         policy: MigrationPolicy::elmem(),
@@ -89,7 +92,12 @@ fn main() {
         faults: FaultPlan::new(),
         healing: None,
         seed: 5,
-    });
+    }];
+    let result = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, cfg| {
+        run_experiment(cfg.clone())
+    })
+    .pop()
+    .expect("autoscaler cell ran");
 
     println!("scaling events:");
     for ev in &result.events {

@@ -6,6 +6,7 @@
 //! ~66% more per hour on EC2; and the paper's §II-C estimate that a
 //! perfectly elastic tier saves 30–70% of cache node-hours on real traces.
 
+use elmem_bench::sweep;
 use elmem_util::costmodel::{app_tier_spec, compare, elastic_savings, memcached_spec, PowerModel};
 use elmem_workload::TraceKind;
 
@@ -34,7 +35,7 @@ fn main() {
         "{:<12} {:>14} {:>12}",
         "trace", "node-hours saved", "peak nodes"
     );
-    for kind in TraceKind::ALL {
+    let rows = sweep::run_cells(sweep::jobs_from_cli(), &TraceKind::ALL, |_, kind| {
         let t = kind.demand_trace();
         // A perfectly elastic tier sized each minute to ceil(demand * 10).
         let demand: Vec<u32> = t
@@ -43,12 +44,10 @@ fn main() {
             .map(|&d| (d * 10.0).ceil().max(1.0) as u32)
             .collect();
         let peak = demand.iter().copied().max().unwrap();
-        println!(
-            "{:<12} {:>13.1}% {:>12}",
-            kind.name(),
-            elastic_savings(&demand) * 100.0,
-            peak
-        );
+        (kind.name(), elastic_savings(&demand), peak)
+    });
+    for (name, savings, peak) in rows {
+        println!("{name:<12} {:>13.1}% {peak:>12}", savings * 100.0);
     }
     println!("\n(the one-hour Fig. 5 snippets understate what full diurnal traces allow)");
 

@@ -9,6 +9,7 @@
 //! the post-scaling p95 against the fault-free run.
 
 use elmem_bench::exp::{laptop_experiment, post_event_window_p95};
+use elmem_bench::sweep;
 use elmem_core::{
     run_experiment, ExperimentConfig, ExperimentResult, FaultPlan, MigrationOutcome,
     MigrationPolicy, ScaleAction,
@@ -86,24 +87,27 @@ fn main() {
         report.completed
     );
 
-    let src_crash = run_experiment(experiment(FaultPlan::new().crash(
-        ev.decided_at + (phase1_end - ev.decided_at).mul_f64(0.5),
-        victim,
-    )));
-    let dst_crash = run_experiment(experiment(
+    // The four faulty replays only depend on the fault-free probe above, so
+    // they are independent cells for the sweep harness.
+    let cells = [
+        FaultPlan::new().crash(
+            ev.decided_at + (phase1_end - ev.decided_at).mul_f64(0.5),
+            victim,
+        ),
         FaultPlan::new().crash(phase2_end + SimTime::from_millis(1), dest),
-    ));
-    let drops = run_experiment(experiment(
         FaultPlan::new()
             .drop_metadata_with_prob(0.3)
             .drop_transfers_with_prob(0.15),
-    ));
-    let slow = run_experiment(experiment(FaultPlan::new().slow_link(
-        SCALE_AT,
-        victim,
-        8.0,
-        SimTime::from_secs(300),
-    )));
+        FaultPlan::new().slow_link(SCALE_AT, victim, 8.0, SimTime::from_secs(300)),
+    ];
+    let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, faults| {
+        run_experiment(experiment(faults.clone()))
+    })
+    .into_iter();
+    let src_crash = results.next().expect("src-crash cell ran");
+    let dst_crash = results.next().expect("dst-crash cell ran");
+    let drops = results.next().expect("drops cell ran");
+    let slow = results.next().expect("slow-NIC cell ran");
 
     row("fault-free", &clean);
     row("src crash (P1)", &src_crash);

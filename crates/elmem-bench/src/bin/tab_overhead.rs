@@ -7,6 +7,7 @@
 //! migration ≈45 s, import ≈80 s — about 2 minutes end to end.
 
 use elmem_bench::exp::{laptop_cluster, laptop_workload, PREFILL_RANKS};
+use elmem_bench::sweep;
 use elmem_cluster::Cluster;
 use elmem_core::migration::{migrate_scale_in, MigrationCosts};
 use elmem_core::scoring::choose_retiring;
@@ -16,39 +17,43 @@ use elmem_workload::{RequestGenerator, TraceKind};
 
 fn main() {
     println!("== Tab (SS V-B2): migration overhead breakdown ==\n");
-    let seed = 99;
-    let workload = laptop_workload(TraceKind::FacebookEtc, seed);
-    let rng = DetRng::seed(seed);
-    let mut cluster = Cluster::new(
-        laptop_cluster(10),
-        workload.keyspace.clone(),
-        rng.split("c"),
-    );
-    let mut gen = RequestGenerator::new(workload, rng.split("w"));
-    let zipf = gen.zipf().clone();
-    cluster.prefill(
-        (1..=PREFILL_RANKS).rev().map(|r| zipf.key_for_rank(r)),
-        SimTime::ZERO,
-    );
-    while let Some(req) = gen.next_request() {
-        if req.arrival > SimTime::from_secs(120) {
-            break;
+    // One cell — the warmup feeds the single migration it measures — run
+    // through the sweep harness like every other fig/tab binary.
+    let mut cells = sweep::run_cells(sweep::jobs_from_cli(), &[99u64], |_, &seed| {
+        let workload = laptop_workload(TraceKind::FacebookEtc, seed);
+        let rng = DetRng::seed(seed);
+        let mut cluster = Cluster::new(
+            laptop_cluster(10),
+            workload.keyspace.clone(),
+            rng.split("c"),
+        );
+        let mut gen = RequestGenerator::new(workload, rng.split("w"));
+        let zipf = gen.zipf().clone();
+        cluster.prefill(
+            (1..=PREFILL_RANKS).rev().map(|r| zipf.key_for_rank(r)),
+            SimTime::ZERO,
+        );
+        while let Some(req) = gen.next_request() {
+            if req.arrival > SimTime::from_secs(120) {
+                break;
+            }
+            cluster.handle(&req);
         }
-        cluster.handle(&req);
-    }
 
-    let costs = MigrationCosts::default();
-    let (victims, _) = choose_retiring(&cluster.tier, 1);
-    let wall_start = std::time::Instant::now();
-    let report = migrate_scale_in(
-        &mut cluster.tier,
-        &victims,
-        SimTime::from_secs(200),
-        &costs,
-        ImportMode::Merge,
-    )
-    .expect("migration succeeds");
-    let host_elapsed = wall_start.elapsed();
+        let costs = MigrationCosts::default();
+        let (victims, _) = choose_retiring(&cluster.tier, 1);
+        let wall_start = std::time::Instant::now();
+        let report = migrate_scale_in(
+            &mut cluster.tier,
+            &victims,
+            SimTime::from_secs(200),
+            &costs,
+            ImportMode::Merge,
+        )
+        .expect("migration succeeds");
+        (report, wall_start.elapsed())
+    });
+    let (report, host_elapsed) = cells.pop().expect("overhead cell ran");
 
     let p = &report.phases;
     println!("phase                 modeled time   (paper @10x scale)");

@@ -18,6 +18,7 @@
 //! hit-rate ordering warm > evict > none) hold in both modes.
 
 use elmem_bench::exp::laptop_experiment;
+use elmem_bench::sweep;
 use elmem_cluster::ClusterConfig;
 use elmem_core::migration::MigrationCosts;
 use elmem_core::{
@@ -144,10 +145,19 @@ fn main() {
         if smoke { " [smoke]" } else { "" }
     );
 
-    let (cfg, scenario) = make(None);
-    let none = run_experiment(cfg);
-    let evict = run_experiment(make(Some(HealingConfig::evict_only())).0);
-    let warm = run_experiment(make(Some(HealingConfig::warm_replacement())).0);
+    let scenario = make(None).1;
+    let cells = [
+        None,
+        Some(HealingConfig::evict_only()),
+        Some(HealingConfig::warm_replacement()),
+    ];
+    let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, healing| {
+        run_experiment(make(*healing).0)
+    })
+    .into_iter();
+    let none = results.next().expect("no-detector cell ran");
+    let evict = results.next().expect("evict cell ran");
+    let warm = results.next().expect("warm cell ran");
 
     row("no detector", &none, &scenario);
     row("detect+evict", &evict, &scenario);

@@ -12,6 +12,7 @@
 //! the same seed produce byte-identical telemetry dumps.
 
 use elmem_bench::exp::laptop_experiment;
+use elmem_bench::sweep;
 use elmem_cluster::ClusterConfig;
 use elmem_core::migration::MigrationCosts;
 use elmem_core::{
@@ -158,15 +159,26 @@ fn main() {
         if smoke { " [smoke]" } else { "" }
     );
 
-    let (cfg, scenario) = make(MigrationPolicy::Baseline);
-    let seed = cfg.seed;
+    let scenario = make(MigrationPolicy::Baseline).1;
+    let seed = make(MigrationPolicy::Baseline).0.seed;
     let window_ns = TelemetryConfig::default().sample_every.as_nanos();
-    let baseline = run(cfg);
-    let elmem = run(make(MigrationPolicy::elmem()).0);
+    // Three independent cells: baseline, elmem, and a same-seed baseline
+    // rerun for the byte-identity check.
+    let cells = [
+        MigrationPolicy::Baseline,
+        MigrationPolicy::elmem(),
+        MigrationPolicy::Baseline,
+    ];
+    let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, policy| {
+        run(make(*policy).0)
+    })
+    .into_iter();
+    let baseline = results.next().expect("baseline cell ran");
+    let elmem = results.next().expect("elmem cell ran");
 
     // Determinism: the identical config must reproduce the identical
     // telemetry dump, byte for byte.
-    let rerun = run(make(MigrationPolicy::Baseline).0);
+    let rerun = results.next().expect("rerun cell ran");
     assert_eq!(
         baseline.telemetry.to_json(),
         rerun.telemetry.to_json(),

@@ -1,0 +1,167 @@
+//! The parallel sweep harness: runs independent experiment cells
+//! concurrently while keeping every observable output byte-identical to a
+//! serial run.
+//!
+//! Every `fig*`/`tab*` binary is a sweep over *cells* — (scenario ×
+//! policy × seed) combinations whose runs share no state: each cell's
+//! experiment derives its own RNG from its own seed
+//! (`DetRng::seed(config.seed)`), so cells can execute in any order, on
+//! any thread, without changing a single byte of any result. The harness
+//! exploits exactly that:
+//!
+//! * [`run_cells`] executes cells on up to `jobs` worker threads pulling
+//!   indices off a shared queue, collects results *keyed by cell index*,
+//!   and returns them in input order — formatting happens afterwards, on
+//!   one thread, so parallel output is byte-identical to serial output;
+//! * [`jobs_from_cli`] resolves the worker count from `--jobs N` /
+//!   `--jobs=N`, then the `ELMEM_JOBS` environment variable, then the
+//!   machine's available parallelism.
+//!
+//! `jobs = 1` (or a single cell) takes a plain serial path with no
+//! threads at all — the reference the determinism tests compare against.
+
+/// Environment variable overriding the default worker count.
+pub const JOBS_ENV: &str = "ELMEM_JOBS";
+
+/// Resolves the worker count from explicit CLI arguments: `--jobs N` or
+/// `--jobs=N`. Returns `None` if the flag is absent or malformed.
+pub fn jobs_from_args<S: AsRef<str>>(args: &[S]) -> Option<usize> {
+    let mut it = args.iter().map(AsRef::as_ref);
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            return it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .map(|j: usize| j.max(1));
+        }
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            return v.parse().ok().map(|j: usize| j.max(1));
+        }
+    }
+    None
+}
+
+/// Resolves the worker count for this process: `--jobs` from the process
+/// arguments, else [`JOBS_ENV`], else the machine's available parallelism.
+pub fn jobs_from_cli() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    jobs_from_args(&args)
+        .or_else(|| std::env::var(JOBS_ENV).ok().and_then(|v| v.parse().ok()))
+        .map(|j: usize| j.max(1))
+        .unwrap_or_else(rayon::current_num_threads)
+}
+
+/// Runs `run` over every cell, on up to `jobs` worker threads, returning
+/// the results in cell order.
+///
+/// Workers pull cell indices off a shared atomic queue, so scheduling is
+/// nondeterministic — but results are collected keyed by index and
+/// reassembled in input order, and each cell's run must be a pure
+/// function of the cell (the workspace's experiments are: they seed their
+/// own `DetRng`). Under those conditions the returned vector — and
+/// anything formatted from it — is byte-identical whatever `jobs` is.
+///
+/// # Panics
+///
+/// Propagates a panic from any cell's run.
+pub fn run_cells<T, R, F>(jobs: usize, cells: &[T], run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || cells.len() <= 1 {
+        return cells.iter().enumerate().map(|(i, c)| run(i, c)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    rayon::scope(|s| {
+        for _ in 0..jobs.min(cells.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let run = &run;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let r = run(i, &cells[i]);
+                tx.send((i, r)).expect("collector outlives workers");
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<R>> = (0..cells.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("cell {i} produced no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elmem_util::DetRng;
+
+    #[test]
+    fn jobs_flag_space_form() {
+        assert_eq!(jobs_from_args(&["--jobs", "4"]), Some(4));
+    }
+
+    #[test]
+    fn jobs_flag_equals_form() {
+        assert_eq!(jobs_from_args(&["--smoke", "--jobs=7"]), Some(7));
+    }
+
+    #[test]
+    fn jobs_flag_absent_or_malformed() {
+        assert_eq!(jobs_from_args(&["--smoke"]), None::<usize>);
+        assert_eq!(jobs_from_args(&["--jobs", "many"]), None::<usize>);
+        assert_eq!(jobs_from_args::<&str>(&[]), None::<usize>);
+    }
+
+    #[test]
+    fn jobs_zero_clamps_to_one() {
+        assert_eq!(jobs_from_args(&["--jobs", "0"]), Some(1));
+        assert_eq!(jobs_from_args(&["--jobs=0"]), Some(1));
+    }
+
+    /// A deterministic per-cell computation heavy enough that parallel
+    /// scheduling would scramble any order-dependent collection.
+    fn cell_value(seed: u64) -> u64 {
+        let mut rng = DetRng::seed(seed);
+        (0..10_000).fold(0u64, |acc, _| acc.wrapping_add(rng.next_below(u64::MAX)))
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let cells: Vec<u64> = (0..32).collect();
+        let serial = run_cells(1, &cells, |_, &s| cell_value(s));
+        for jobs in [2, 3, 8] {
+            let parallel = run_cells(jobs, &cells, |_, &s| cell_value(s));
+            assert_eq!(serial, parallel, "jobs={jobs} must match serial");
+        }
+    }
+
+    #[test]
+    fn run_gets_matching_index() {
+        let cells: Vec<u64> = (100..120).collect();
+        let out = run_cells(4, &cells, |i, &c| (i, c));
+        for (i, (idx, c)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*c, cells[i]);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_cells() {
+        let out: Vec<u64> = run_cells(8, &[], |_, &c: &u64| c);
+        assert!(out.is_empty());
+        let out = run_cells(8, &[9u64], |_, &c| c * 2);
+        assert_eq!(out, vec![18]);
+    }
+}

@@ -65,6 +65,10 @@ pub struct Cluster {
     client_timeouts: u64,
     fast_failovers: u64,
     telemetry: ClusterTelemetry,
+    // 1 / mc_latency, cached at construction: the exponential-jitter rate
+    // is re-derived on every single lookup otherwise, and the config mean
+    // never changes after the tier is built.
+    mc_rate: f64,
 }
 
 impl Cluster {
@@ -76,6 +80,7 @@ impl Cluster {
             config.db_shed_delay,
             rng.split("db"),
         );
+        let mc_rate = 1.0 / config.mc_latency.as_secs_f64();
         Cluster {
             tier: CacheTier::new(config),
             db,
@@ -88,6 +93,7 @@ impl Cluster {
             client_timeouts: 0,
             fast_failovers: 0,
             telemetry: ClusterTelemetry::default(),
+            mc_rate,
         }
     }
 
@@ -172,9 +178,12 @@ impl Cluster {
                 .on_lookup(Some(node_id), LookupClass::Failover, latency);
             return (latency, false);
         }
-        let before = self.breaker(node_id).state();
-        self.breaker(node_id).record_success(now);
-        let after = self.breaker(node_id).state();
+        // One breaker-map walk per successful lookup (this is the hot
+        // path), not one per state read.
+        let breaker = self.breaker(node_id);
+        let before = breaker.state();
+        breaker.record_success(now);
+        let after = breaker.state();
         self.telemetry.on_breaker(now, node_id, before, after);
         let hit = {
             let node = self.tier.node_mut(node_id).expect("member node exists");
@@ -214,13 +223,20 @@ impl Cluster {
         let timeout = self.tier.config().client_timeout;
         // Capture breaker state around each step so the trace sees every
         // edge (an open → half-open → open probe cycle is two events).
-        let before = self.breaker(node_id).state();
-        let allowed = self.breaker(node_id).allows(now);
-        let probing = self.breaker(node_id).state();
+        // All breaker steps run on one map walk; the trace events are
+        // emitted afterwards in the same order as before.
+        let breaker = self.breaker(node_id);
+        let before = breaker.state();
+        let allowed = breaker.allows(now);
+        let probing = breaker.state();
+        let after = if allowed {
+            breaker.record_failure(now);
+            Some(breaker.state())
+        } else {
+            None
+        };
         self.telemetry.on_breaker(now, node_id, before, probing);
-        let charged = if allowed {
-            self.breaker(node_id).record_failure(now);
-            let after = self.breaker(node_id).state();
+        let charged = if let Some(after) = after {
             self.telemetry.on_breaker(now, node_id, probing, after);
             self.client_timeouts += 1;
             self.telemetry.on_client_timeout(now, node_id);
@@ -335,9 +351,9 @@ impl Cluster {
     }
 
     fn mc_latency(&mut self) -> SimTime {
-        // Exponential jitter around the configured mean.
-        let mean = self.tier.config().mc_latency.as_secs_f64();
-        SimTime::from_secs_f64(self.latency_rng.next_exp(1.0 / mean))
+        // Exponential jitter around the configured mean (rate cached in
+        // `mc_rate`).
+        SimTime::from_secs_f64(self.latency_rng.next_exp(self.mc_rate))
     }
 }
 

@@ -13,7 +13,7 @@ use elmem_sim::EventQueue;
 use elmem_util::stats::{TimelinePoint, TimelineRecorder};
 use elmem_util::telemetry::EventKind;
 use elmem_util::{DetRng, NodeId, SimTime, TelemetryConfig};
-use elmem_workload::{RequestGenerator, WorkloadConfig};
+use elmem_workload::{RequestGenerator, WebRequest, WorkloadConfig};
 
 use crate::autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
 use crate::healing::{
@@ -365,7 +365,15 @@ pub fn run_experiment_with_telemetry(
     let mut rate_anchor = SimTime::ZERO;
     let mut last_now = SimTime::ZERO;
 
-    while let Some(req) = gen.next_request() {
+    // One scratch request reused across the whole run: the generator
+    // refills its key buffer in place instead of allocating a fresh
+    // multi-get vector per request (the loop below runs hundreds of
+    // thousands of times per experiment).
+    let mut req = WebRequest {
+        arrival: SimTime::ZERO,
+        keys: Vec::with_capacity(config.workload.items_per_request),
+    };
+    while gen.next_request_into(&mut req) {
         let now = req.arrival;
         last_now = now;
 

@@ -80,9 +80,14 @@ pub fn fusecache_instrumented(lists: &[&[Hotness]], n: usize) -> (Vec<usize>, Se
     let mut start = vec![0usize; k];
     let mut end: Vec<usize> = lists.iter().map(|l| l.len()).collect();
 
+    // Scratch buffers reused across rounds: a selection runs O(log N)
+    // rounds, and reallocating the per-round medians and insertion-point
+    // vectors each time dominated the (otherwise tiny) round cost.
+    let mut medians: Vec<Hotness> = Vec::with_capacity(k);
+    let mut ins = vec![0usize; k];
     while remaining > 0 {
         // Medians of nonempty windows.
-        let mut medians: Vec<Hotness> = Vec::with_capacity(k);
+        medians.clear();
         for i in 0..k {
             if start[i] < end[i] {
                 medians.push(lists[i][(start[i] + end[i]) / 2]);
@@ -99,7 +104,6 @@ pub fn fusecache_instrumented(lists: &[&[Hotness]], n: usize) -> (Vec<usize>, Se
 
         // Insertion points: count of window items strictly hotter than MOM.
         let mut count_x = 0usize;
-        let mut ins = vec![0usize; k];
         for i in 0..k {
             let window = &lists[i][start[i]..end[i]];
             // Hottest-first: strictly-hotter items form a prefix.
@@ -221,6 +225,30 @@ mod tests {
         let a = vec![h(9, 1), h(5, 2), h(1, 3)];
         let b = vec![h(8, 4), h(2, 5)];
         assert_eq!(fusecache(&[&a, &b], 3), vec![2, 1]);
+    }
+
+    #[test]
+    fn instrumentation_counters_are_stable() {
+        // Pins SelectionStats on a fixed input: the scratch-buffer reuse in
+        // the round loop must not change the rounds/comparisons arithmetic.
+        let mut rng = DetRng::seed(99);
+        let lists = random_lists(&mut rng, 8, 200);
+        let refs = as_refs(&lists);
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        let n = total / 3;
+        let (picks, stats) = fusecache_instrumented(&refs, n);
+        check_optimal(&lists, &picks, n);
+        let (picks2, stats2) = fusecache_instrumented(&refs, n);
+        assert_eq!(picks, picks2);
+        assert_eq!(stats.rounds, stats2.rounds);
+        assert_eq!(stats.comparisons, stats2.comparisons);
+        // O(k log^2 N) regime, not the O(N log N) of sort-merge.
+        assert!(stats.rounds > 0);
+        assert!(
+            (stats.comparisons as usize) < total,
+            "comparisons {} should undercut total items {total}",
+            stats.comparisons
+        );
     }
 
     #[test]

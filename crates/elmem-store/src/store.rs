@@ -1,7 +1,6 @@
 //! The slab store: pages, chunks, MRU lists, LRU eviction.
 
-use std::collections::HashMap;
-
+use elmem_util::hashutil::FastIntMap;
 use elmem_util::{ByteSize, ElmemError, KeyId, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -208,7 +207,11 @@ impl ClassState {
 pub struct SlabStore {
     classes: SizeClasses,
     class_states: Vec<ClassState>,
-    index: HashMap<KeyId, (u16, u32)>,
+    // Keyed lookups run once per simulated request item, so the index uses
+    // the deterministic integer hasher rather than SipHash: several times
+    // cheaper on u64 keys, and placement is identical across runs and
+    // platforms (std's RandomState is neither).
+    index: FastIntMap<KeyId, (u16, u32)>,
     pages_total: u64,
     pages_used: u64,
     stats: StoreStats,
@@ -231,7 +234,7 @@ impl SlabStore {
         SlabStore {
             classes: config.classes,
             class_states,
-            index: HashMap::new(),
+            index: FastIntMap::default(),
             pages_total,
             pages_used: 0,
             stats: StoreStats::default(),
@@ -830,28 +833,32 @@ impl SlabStore {
         // same-instant accesses either way; see `ClassDump::new`).
         let mut resident: Vec<ItemMeta> = self.iter_class_mru(class).collect();
         resident.sort_by_key(|i| std::cmp::Reverse(i.hotness()));
+        // Snapshot the accepted keys (sorted, for binary search) before the
+        // merge consumes `accepted`; both import modes then build `merged`
+        // by *moving* the accepted items — no clones of the batch.
+        let mut incoming_keys: Vec<KeyId> = accepted.iter().map(|i| i.key).collect();
+        incoming_keys.sort_unstable();
         let merged: Vec<ItemMeta> = match mode {
             ImportMode::Merge => {
+                // Both inputs are hottest-first; standard 2-way merge.
+                accepted.sort_by_key(|i| std::cmp::Reverse(i.hotness()));
                 let mut all = Vec::with_capacity(resident.len() + accepted.len());
                 let (mut i, mut j) = (0usize, 0usize);
-                // Both inputs are hottest-first; standard 2-way merge.
-                let mut sorted_in = accepted.clone();
-                sorted_in.sort_by_key(|i| std::cmp::Reverse(i.hotness()));
-                while i < resident.len() && j < sorted_in.len() {
-                    if resident[i].hotness() >= sorted_in[j].hotness() {
+                while i < resident.len() && j < accepted.len() {
+                    if resident[i].hotness() >= accepted[j].hotness() {
                         all.push(resident[i]);
                         i += 1;
                     } else {
-                        all.push(sorted_in[j]);
+                        all.push(accepted[j]);
                         j += 1;
                     }
                 }
                 all.extend_from_slice(&resident[i..]);
-                all.extend_from_slice(&sorted_in[j..]);
+                all.extend_from_slice(&accepted[j..]);
                 all
             }
             ImportMode::Prepend => {
-                let mut all = accepted.clone();
+                let mut all = accepted;
                 all.extend_from_slice(&resident);
                 all
             }
@@ -863,8 +870,6 @@ impl SlabStore {
             self.remove_entry(item.key);
         }
         let mut kept_incoming = 0u64;
-        let incoming_keys: std::collections::HashSet<KeyId> =
-            accepted.iter().map(|i| i.key).collect();
         let mut inserted = 0u64;
         for item in &merged {
             match self.alloc_slot_no_evict(class) {
@@ -876,7 +881,7 @@ impl SlabStore {
                     state.bytes_used += item.footprint();
                     self.index.insert(item.key, (class.0, idx));
                     inserted += 1;
-                    if incoming_keys.contains(&item.key) {
+                    if incoming_keys.binary_search(&item.key).is_ok() {
                         kept_incoming += 1;
                         self.stats.imported += 1;
                     }

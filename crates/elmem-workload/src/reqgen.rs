@@ -115,6 +115,23 @@ impl RequestGenerator {
 
     /// Generates the next request, or `None` once past the trace end.
     pub fn next_request(&mut self) -> Option<WebRequest> {
+        let mut req = WebRequest {
+            arrival: SimTime::ZERO,
+            keys: Vec::new(),
+        };
+        self.next_request_into(&mut req).then_some(req)
+    }
+
+    /// Generates the next request into `req`, reusing its key buffer, and
+    /// returns whether one was produced (`false` once past the trace end,
+    /// leaving `req` untouched).
+    ///
+    /// This is the serving loop's entry point: one experiment serves
+    /// hundreds of thousands of requests, and regrowing the same
+    /// `items_per_request`-element vector each time is pure allocator
+    /// traffic. The generated sequence is identical to repeated
+    /// [`Self::next_request`] calls.
+    pub fn next_request_into(&mut self, req: &mut WebRequest) -> bool {
         // Thinning (Lewis & Shedler): candidate events at the peak rate,
         // accepted with probability rate(t)/peak.
         let peak = self.config.peak_rate;
@@ -126,21 +143,20 @@ impl RequestGenerator {
                 .checked_add(SimTime::from_secs_f64(dt))
                 .unwrap_or(SimTime::MAX);
             if self.now > end {
-                return None;
+                return false;
             }
             let accept_p = self.config.trace.normalized_at(self.now);
             if self.arrivals_rng.next_f64() < accept_p {
                 break;
             }
         }
-        let keys: Vec<KeyId> = (0..self.config.items_per_request)
-            .map(|_| self.zipf.sample(&mut self.keys_rng))
-            .collect();
+        req.arrival = self.now;
+        req.keys.clear();
+        req.keys.extend(
+            (0..self.config.items_per_request).map(|_| self.zipf.sample(&mut self.keys_rng)),
+        );
         self.generated += 1;
-        Some(WebRequest {
-            arrival: self.now,
-            keys,
-        })
+        true
     }
 
     /// Drains the generator into a vector (convenience for offline
@@ -257,6 +273,32 @@ mod tests {
             "top-100 share {}",
             top100 as f64 / total as f64
         );
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let mk = || {
+            RequestGenerator::new(
+                config(300.0, TraceKind::Microsoft.demand_trace()),
+                DetRng::seed(11),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut scratch = WebRequest {
+            arrival: SimTime::ZERO,
+            keys: Vec::new(),
+        };
+        loop {
+            let fresh = a.next_request();
+            let reused = b.next_request_into(&mut scratch);
+            assert_eq!(fresh.is_some(), reused);
+            match fresh {
+                Some(r) => assert_eq!(r, scratch),
+                None => break,
+            }
+        }
+        assert_eq!(a.generated(), b.generated());
     }
 
     #[test]

@@ -69,6 +69,39 @@ fn same_seed_identical_telemetry_dumps() {
 }
 
 #[test]
+fn concurrent_runs_are_byte_identical_to_serial() {
+    // The sweep harness's foundational claim, checked here at the system
+    // level without the harness itself: experiments share no state, so
+    // running them on concurrent threads — different seeds racing each
+    // other — reproduces the serial runs bit for bit, telemetry dump
+    // included. (The harness's own scheduling test lives with
+    // `elmem-bench::sweep`; this guards the experiment side.)
+    let seeds = [11u64, 12, 13, 14];
+    let serial: Vec<String> = seeds
+        .iter()
+        .map(|&s| {
+            run_experiment_with_telemetry(config(s), TelemetryConfig::default())
+                .telemetry
+                .to_json()
+        })
+        .collect();
+    let concurrent: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                scope.spawn(move || {
+                    run_experiment_with_telemetry(config(s), TelemetryConfig::default())
+                        .telemetry
+                        .to_json()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(serial, concurrent);
+}
+
+#[test]
 fn different_seeds_differ() {
     let a = run_experiment(config(1));
     let b = run_experiment(config(2));
