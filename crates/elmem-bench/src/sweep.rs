@@ -54,12 +54,12 @@ pub fn jobs_from_cli() -> usize {
 /// Runs `run` over every cell, on up to `jobs` worker threads, returning
 /// the results in cell order.
 ///
-/// Workers pull cell indices off a shared atomic queue, so scheduling is
-/// nondeterministic — but results are collected keyed by index and
-/// reassembled in input order, and each cell's run must be a pure
-/// function of the cell (the workspace's experiments are: they seed their
-/// own `DetRng`). Under those conditions the returned vector — and
-/// anything formatted from it — is byte-identical whatever `jobs` is.
+/// A thin wrapper over [`elmem_util::par::par_map_indexed`] — the shared
+/// indexed parallel map that the migration planner also uses. Each cell's
+/// run must be a pure function of the cell (the workspace's experiments
+/// are: they seed their own `DetRng`); the helper then guarantees the
+/// returned vector — and anything formatted from it — is byte-identical
+/// whatever `jobs` is.
 ///
 /// # Panics
 ///
@@ -70,36 +70,7 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    if jobs <= 1 || cells.len() <= 1 {
-        return cells.iter().enumerate().map(|(i, c)| run(i, c)).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
-    rayon::scope(|s| {
-        for _ in 0..jobs.min(cells.len()) {
-            let tx = tx.clone();
-            let next = &next;
-            let run = &run;
-            s.spawn(move |_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let r = run(i, &cells[i]);
-                tx.send((i, r)).expect("collector outlives workers");
-            });
-        }
-    });
-    drop(tx);
-    let mut slots: Vec<Option<R>> = (0..cells.len()).map(|_| None).collect();
-    for (i, r) in rx {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("cell {i} produced no result")))
-        .collect()
+    elmem_util::par::par_map_indexed(jobs, cells, run)
 }
 
 #[cfg(test)]

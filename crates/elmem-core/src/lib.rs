@@ -59,9 +59,10 @@ pub use healing::{
 };
 pub use master::{DeferredAction, DeferredKind, Master, Orchestration};
 pub use migration::{
-    migrate_scale_in, migrate_scale_in_supervised, migrate_scale_out, AbortCause, MigrationCosts,
-    MigrationOutcome, MigrationPhase, MigrationReport, PhaseBreakdown, PhaseDeadlines, RetryPolicy,
-    Supervision,
+    migrate_scale_in, migrate_scale_in_supervised, migrate_scale_out, plan_scale_in_shipments,
+    set_planning_jobs, AbortCause, MigrationCosts, MigrationOutcome, MigrationPhase,
+    MigrationReport, PhaseBreakdown, PhaseDeadlines, PlanStats, RetryPolicy, Shipment, Supervision,
+    MIGRATION_JOBS_ENV,
 };
 pub use predictive::{PredictiveAutoScaler, PredictiveConfig};
 pub use telemetry::{

@@ -14,10 +14,13 @@
 //! shipped set exceeds the new node's capacity.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use elmem_cluster::{CacheNode, CacheTier};
+use elmem_hash::HashRing;
 use elmem_sim::fault::FaultInjector;
 use elmem_store::{ClassId, Hotness, ImportMode, ItemMeta, KEY_BYTES, TIMESTAMP_BYTES};
+use elmem_util::par::par_map_indexed;
 use elmem_util::{ByteSize, ElmemError, NodeId, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -315,6 +318,288 @@ impl<'a> Supervision<'a> {
 /// Naive comparator uses `Prepend` — see `policies`).
 pub use elmem_store::ImportMode as MigrationImportMode;
 
+// ---------------------------------------------------------------------------
+// Planning fast path
+//
+// The migration *plan* — which items each retiring source ships to which
+// (destination, class) cell — is a pure function of the tier: dump + route
+// per source, then one FuseCache selection per cell. Both stages fan out
+// over `elmem_util::par::par_map_indexed` and reassemble in input order
+// (sources in retiring order, cells in sorted (target, class) order), so
+// the plan is byte-identical to a serial pass whatever the worker count.
+// The serial per-source link scheduling / fault sampling stays in the
+// supervised executor: link state and drop sampling are order-sensitive.
+// ---------------------------------------------------------------------------
+
+/// Worker threads used by the migration planner; 0 = resolve automatically.
+static PLANNING_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment variable overriding the automatic planner worker count.
+pub const MIGRATION_JOBS_ENV: &str = "ELMEM_MIGRATION_JOBS";
+
+/// Sets the planner's worker-thread count process-wide (0 = automatic:
+/// [`MIGRATION_JOBS_ENV`], else all cores). The plan is byte-identical
+/// whatever the count — this knob trades threads for wall-clock only.
+pub fn set_planning_jobs(jobs: usize) {
+    PLANNING_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+fn auto_planning_jobs() -> usize {
+    match PLANNING_JOBS.load(Ordering::Relaxed) {
+        0 => std::env::var(MIGRATION_JOBS_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&j: &usize| j >= 1)
+            .unwrap_or_else(rayon::current_num_threads),
+        n => n,
+    }
+}
+
+/// Below this many items an automatically-parallelized stage stays on the
+/// no-thread serial path: the tiers in unit tests and small sweep cells
+/// migrate faster than worker threads spawn.
+const PAR_MIN_ITEMS: u64 = 32_768;
+
+/// One planned phase-3 shipment: the `take` hottest of the items a source
+/// routed to one (target, class) cell.
+///
+/// The items vector is *moved* out of the phase-1 routing result and the
+/// chosen subset exposed as a prefix borrow — the plan holds index ranges
+/// into the dump rather than cloned sub-vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shipment {
+    /// The retiring node shipping the items.
+    pub source: NodeId,
+    /// The retained node importing them.
+    pub target: NodeId,
+    /// The slab class they belong to.
+    pub class: ClassId,
+    items: Vec<ItemMeta>,
+    take: usize,
+}
+
+impl Shipment {
+    /// The chosen items (hottest-first prefix of the routed list).
+    pub fn items(&self) -> &[ItemMeta] {
+        &self.items[..self.take]
+    }
+
+    /// Number of chosen items.
+    pub fn len(&self) -> usize {
+        self.take
+    }
+
+    /// Whether nothing was chosen.
+    pub fn is_empty(&self) -> bool {
+        self.take == 0
+    }
+}
+
+/// Statistics from a [`plan_scale_in_shipments`] planning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Items dumped on the retiring sources (phase-1 metadata volume).
+    pub items_considered: u64,
+    /// (destination, class) FuseCache cells compared.
+    pub cells: usize,
+    /// Hotness comparisons FuseCache performed across all cells.
+    pub comparisons: u64,
+}
+
+/// Phase-1 routing result for one retiring source: its metadata dump
+/// hashed against the retained ring.
+struct RoutedSource {
+    n_items: u64,
+    per_target: HashMap<(NodeId, ClassId), Vec<ItemMeta>>,
+}
+
+/// Dumps every retiring source and hashes each item against the retained
+/// ring — the pure part of phase 1 (§III-D1), parallel over sources.
+fn route_sources(
+    tier: &CacheTier,
+    retiring: &[NodeId],
+    retained_ring: &HashRing,
+    jobs: usize,
+) -> Result<Vec<RoutedSource>, ElmemError> {
+    par_map_indexed(jobs, retiring, |_, &src| {
+        let dump = live_node(tier, src)?.store.dump_metadata();
+        let n_items = dump.total_items();
+        let mut per_target: HashMap<(NodeId, ClassId), Vec<ItemMeta>> = HashMap::new();
+        for class_dump in &dump.classes {
+            for item in &class_dump.items {
+                let target = retained_ring.node_for(item.key).ok_or_else(|| {
+                    ElmemError::InconsistentMigration("retained ring is empty".to_string())
+                })?;
+                per_target
+                    .entry((target, class_dump.class))
+                    .or_default()
+                    .push(*item);
+            }
+        }
+        Ok(RoutedSource {
+            n_items,
+            per_target,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// One FuseCache work unit: the inbound source lists one (target, class)
+/// destination cell compares against its own MRU list.
+struct PlanCell {
+    target: NodeId,
+    class: ClassId,
+    sources: Vec<(NodeId, Vec<ItemMeta>)>,
+}
+
+/// Runs one cell's FuseCache selection (§III-D2): how many items the
+/// destination accepts from each source. Pure: reads the tier only.
+fn fuse_cell(tier: &CacheTier, cell: &PlanCell) -> Result<(Vec<usize>, u64), ElmemError> {
+    let dest_store = &live_node(tier, cell.target)?.store;
+    // Capacity for this class on the destination, in items: the retained
+    // node's own list length n (FuseCache picks the top n across its own
+    // list + incoming, per §IV-A).
+    let own: Vec<Hotness> = dest_store
+        .dump_class(cell.class)
+        .items
+        .iter()
+        .map(|i| i.hotness())
+        .collect();
+    let n = own.len().max(
+        // An empty class on the destination can still grow: allow as
+        // many items as one page of chunks as a floor.
+        dest_store.classes().chunks_per_page(cell.class) as usize,
+    );
+    let mut lists: Vec<Vec<Hotness>> = Vec::with_capacity(cell.sources.len() + 1);
+    lists.push(own);
+    for (_, items) in &cell.sources {
+        lists.push(items.iter().map(|i| i.hotness()).collect());
+    }
+    let refs: Vec<&[Hotness]> = lists.iter().map(|l| l.as_slice()).collect();
+    let (picks, stats) = fusecache_instrumented(&refs, n);
+    Ok((picks, stats.comparisons))
+}
+
+/// The phase-2 output: the shipment plan plus the comparison counts the
+/// cost model charges per destination.
+struct CellOutcome {
+    plan: Vec<Shipment>,
+    per_dest_comparisons: HashMap<NodeId, u64>,
+    comparisons: u64,
+}
+
+/// Converts routed inbound lists into the phase-3 shipment plan: one
+/// FuseCache selection per (target, class) cell, fanned out over `jobs`
+/// workers, results reassembled in `dest_keys` (sorted) order so the plan
+/// is byte-identical to a serial pass. Each cell's chosen items are moved
+/// — not cloned — into the plan.
+fn build_shipments(
+    tier: &CacheTier,
+    dest_keys: &[(NodeId, ClassId)],
+    mut inbound: InboundMap,
+    jobs: usize,
+) -> Result<CellOutcome, ElmemError> {
+    let cells: Vec<PlanCell> = dest_keys
+        .iter()
+        .map(|&(target, class)| PlanCell {
+            target,
+            class,
+            sources: inbound.remove(&(target, class)).expect("key exists"),
+        })
+        .collect();
+    let picks = par_map_indexed(jobs, &cells, |_, cell| fuse_cell(tier, cell));
+    let mut outcome = CellOutcome {
+        plan: Vec::new(),
+        per_dest_comparisons: HashMap::new(),
+        comparisons: 0,
+    };
+    // Reassembly: cells in sorted (target, class) order, sources within a
+    // cell in retiring order — the exact order the serial code produced.
+    for (cell, result) in cells.into_iter().zip(picks) {
+        let (picks, comparisons) = result?;
+        *outcome.per_dest_comparisons.entry(cell.target).or_default() += comparisons;
+        outcome.comparisons += comparisons;
+        // picks[0] is the destination's own list; picks[1..] map to sources.
+        for (si, (source, items)) in cell.sources.into_iter().enumerate() {
+            let take = picks[si + 1].min(items.len());
+            if take > 0 {
+                outcome.plan.push(Shipment {
+                    source,
+                    target: cell.target,
+                    class: cell.class,
+                    items,
+                    take,
+                });
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// The migration *planning* pipeline alone — §III-D1's dump + routing and
+/// §III-D2's FuseCache selection — without mutating the tier, charging
+/// simulated time, or shipping anything: the pure function the data-plane
+/// benchmark times and whose parallel/serial byte-identity the tests pin.
+///
+/// `jobs` is the worker-thread count for both stages; `0` resolves
+/// automatically ([`set_planning_jobs`], else [`MIGRATION_JOBS_ENV`], else
+/// all cores) and applies a work-size threshold so tiny migrations stay on
+/// the no-thread serial path. The returned plan is byte-identical
+/// whatever `jobs` is.
+///
+/// # Errors
+///
+/// Same validation as [`migrate_scale_in`].
+pub fn plan_scale_in_shipments(
+    tier: &CacheTier,
+    retiring: &[NodeId],
+    jobs: usize,
+) -> Result<(Vec<Shipment>, PlanStats), ElmemError> {
+    validate_retiring(tier.membership().members(), retiring)?;
+    let retained_ring = tier.membership().ring().without(retiring);
+    let auto = jobs == 0;
+    let jobs = if auto { auto_planning_jobs() } else { jobs };
+    let retiring_items: u64 = retiring
+        .iter()
+        .filter_map(|&id| tier.node(id).ok())
+        .map(|n| n.store.len())
+        .sum();
+    let route_jobs = if auto && retiring_items < PAR_MIN_ITEMS {
+        1
+    } else {
+        jobs
+    };
+    let routed = route_sources(tier, retiring, &retained_ring, route_jobs)?;
+    let mut items_considered = 0u64;
+    let mut inbound: InboundMap = HashMap::new();
+    for (&src, routed_src) in retiring.iter().zip(routed) {
+        items_considered += routed_src.n_items;
+        for ((target, class), items) in routed_src.per_target {
+            inbound
+                .entry((target, class))
+                .or_default()
+                .push((src, items));
+        }
+    }
+    let mut dest_keys: Vec<(NodeId, ClassId)> = inbound.keys().copied().collect();
+    dest_keys.sort_unstable();
+    let fuse_jobs = if auto && items_considered < PAR_MIN_ITEMS {
+        1
+    } else {
+        jobs
+    };
+    let outcome = build_shipments(tier, &dest_keys, inbound, fuse_jobs)?;
+    Ok((
+        outcome.plan,
+        PlanStats {
+            items_considered,
+            cells: dest_keys.len(),
+            comparisons: outcome.comparisons,
+        },
+    ))
+}
+
 /// Executes the 3-phase scale-in migration: moves the globally hottest
 /// subset of each retiring node's data to the retained nodes.
 ///
@@ -420,8 +705,7 @@ pub fn migrate_scale_in_supervised(
     import_mode: ImportMode,
     supervision: &mut Supervision<'_>,
 ) -> Result<MigrationReport, ElmemError> {
-    let members = tier.membership().members().to_vec();
-    validate_retiring(&members, retiring)?;
+    validate_retiring(tier.membership().members(), retiring)?;
     let retained_ring = tier.membership().ring().without(retiring);
 
     let mut phases = PhaseBreakdown::default();
@@ -430,7 +714,7 @@ pub fn migrate_scale_in_supervised(
     // §III-C scoring cost: every member node crawls its slabs for medians
     // (done in parallel across nodes; take the max = any node's cost).
     let mut max_slabs = 0u64;
-    for &id in &members {
+    for &id in tier.membership().members() {
         let store = &live_node(tier, id)?.store;
         let slabs = store
             .classes()
@@ -441,37 +725,41 @@ pub fn migrate_scale_in_supervised(
     }
     phases.scoring = SimTime::from_nanos(max_slabs * costs.score_ns_per_slab);
 
-    // Phase 1 — dump + hash on each retiring node (parallel: take max),
-    // then ship metadata to targets (per-source link, serialized). A
-    // dropped shipment is retried after a backoff; the retry budget
-    // covers only these injected drops (not database sheds).
+    // Phase 1 — dump + hash on each retiring node (§III-D1 already runs
+    // the sources in parallel; here worker threads fan the routing out
+    // when the volume warrants it, reassembled in retiring order so the
+    // result is byte-identical to a serial pass), then ship metadata to
+    // targets (per-source link, serialized, in retiring order — link
+    // scheduling and drop sampling are order-sensitive, so shipping stays
+    // serial). A dropped shipment is retried after a backoff; the retry
+    // budget covers only these injected drops (not database sheds).
+    let jobs = auto_planning_jobs();
+    let retiring_items: u64 = retiring
+        .iter()
+        .filter_map(|&id| tier.node(id).ok())
+        .map(|n| n.store.len())
+        .sum();
+    let route_jobs = if retiring.len() >= 2 && retiring_items >= PAR_MIN_ITEMS {
+        jobs
+    } else {
+        1
+    };
+    let routed = route_sources(tier, retiring, &retained_ring, route_jobs)?;
     let mut items_considered = 0u64;
     let mut metadata_bytes = ByteSize::ZERO;
     let mut dump_max = SimTime::ZERO;
     // (target, class) → (source, items) lists.
     let mut inbound: InboundMap = HashMap::new();
     let mut transfer_done = now;
-    for &src in retiring {
-        let dump = live_node(tier, src)?.store.dump_metadata();
-        let n_items: u64 = dump.total_items();
+    for (&src, routed_src) in retiring.iter().zip(routed) {
+        let n_items = routed_src.n_items;
         items_considered += n_items;
         dump_max = dump_max.max(SimTime::from_nanos(n_items * costs.dump_ns_per_item));
-        // Hash each item against the retained membership.
-        let mut per_target: HashMap<(NodeId, ClassId), Vec<ItemMeta>> = HashMap::new();
-        for class_dump in &dump.classes {
-            for item in &class_dump.items {
-                let target = retained_ring.node_for(item.key).ok_or_else(|| {
-                    ElmemError::InconsistentMigration("retained ring is empty".to_string())
-                })?;
-                per_target
-                    .entry((target, class_dump.class))
-                    .or_default()
-                    .push(*item);
-            }
-        }
         // Ship metadata over the source's NIC (tarball over ssh: one
         // serialized stream per source; the pipeline's per-item CPU cost
-        // dominates the 21 B/item wire cost).
+        // dominates the 21 B/item wire cost). Dump totals accumulate
+        // source-by-source in this loop so an abort's partial report is
+        // the same as when routing ran inline here.
         let bytes = ByteSize((KEY_BYTES + TIMESTAMP_BYTES) * n_items);
         metadata_bytes += bytes;
         let pipeline = SimTime::from_nanos(n_items * costs.metadata_ns_per_item);
@@ -509,7 +797,7 @@ pub fn migrate_scale_in_supervised(
             submit_at = completion + supervision.retry.backoff(attempt);
         };
         transfer_done = transfer_done.max(done);
-        for ((target, class), items) in per_target {
+        for ((target, class), items) in routed_src.per_target {
             inbound
                 .entry((target, class))
                 .or_default()
@@ -580,46 +868,25 @@ pub fn migrate_scale_in_supervised(
     }
 
     // Phase 2 — FuseCache on each retained node, per class: how many items
-    // to accept from each source. Runs in parallel across destinations;
-    // cost = max per destination.
-    // (source, target, class) → items to actually migrate.
-    let mut plan: Vec<(NodeId, NodeId, ClassId, Vec<ItemMeta>)> = Vec::new();
-    let mut per_dest_ns: HashMap<NodeId, u64> = HashMap::new();
-    for (target, class) in dest_keys {
-        let sources = inbound.remove(&(target, class)).expect("key exists");
-        let dest_store = &live_node(tier, target)?.store;
-        // Capacity for this class on the destination, in items:
-        // the retained node's own list length n (FuseCache picks the top
-        // n across its own list + incoming, per §IV-A).
-        let own: Vec<Hotness> = dest_store
-            .dump_class(class)
-            .items
-            .iter()
-            .map(|i| i.hotness())
-            .collect();
-        let n = own.len().max(
-            // An empty class on the destination can still grow: allow as
-            // many items as one page of chunks as a floor.
-            dest_store.classes().chunks_per_page(class) as usize,
-        );
-        let mut lists: Vec<Vec<Hotness>> = Vec::with_capacity(sources.len() + 1);
-        lists.push(own);
-        for (_, items) in &sources {
-            lists.push(items.iter().map(|i| i.hotness()).collect());
-        }
-        let refs: Vec<&[Hotness]> = lists.iter().map(|l| l.as_slice()).collect();
-        let (picks, stats) = fusecache_instrumented(&refs, n);
-        *per_dest_ns.entry(target).or_default() +=
-            stats.comparisons * costs.fusecache_ns_per_comparison;
-        // picks[0] is the destination's own list; picks[1..] map to sources.
-        for (si, (src, items)) in sources.into_iter().enumerate() {
-            let take = picks[si + 1].min(items.len());
-            if take > 0 {
-                plan.push((src, target, class, items[..take].to_vec()));
-            }
-        }
-    }
-    phases.fusecache = SimTime::from_nanos(per_dest_ns.values().copied().max().unwrap_or(0));
+    // to accept from each source. Runs in parallel across destinations
+    // (worker threads too, when the volume warrants it); cost = max per
+    // destination. The chosen items are moved out of the routed lists into
+    // the plan — no cloning.
+    let fuse_jobs = if items_considered >= PAR_MIN_ITEMS {
+        jobs
+    } else {
+        1
+    };
+    let outcome = build_shipments(tier, &dest_keys, inbound, fuse_jobs)?;
+    let plan = outcome.plan;
+    phases.fusecache = SimTime::from_nanos(
+        outcome
+            .per_dest_comparisons
+            .values()
+            .map(|&c| c * costs.fusecache_ns_per_comparison)
+            .max()
+            .unwrap_or(0),
+    );
     let phase2_end = phase1_end + phases.fusecache;
 
     // A destination dying during the comparison aborts in phase 2
@@ -665,9 +932,10 @@ pub fn migrate_scale_in_supervised(
     let mut bytes_migrated = ByteSize::ZERO;
     let mut data_done = data_start;
     let mut import_ns: HashMap<NodeId, u64> = HashMap::new();
-    for (src, target, class, items) in plan {
-        let bytes = ByteSize(items.iter().map(|i| i.footprint()).sum());
-        let pipeline = SimTime::from_nanos(items.len() as u64 * costs.data_ns_per_item);
+    for shipment in plan {
+        let (src, target) = (shipment.source, shipment.target);
+        let bytes = ByteSize(shipment.items().iter().map(|i| i.footprint()).sum());
+        let pipeline = SimTime::from_nanos(shipment.len() as u64 * costs.data_ns_per_item);
         let mut attempt = 0u32;
         let mut submit_at = data_start;
         let done = loop {
@@ -730,13 +998,14 @@ pub fn migrate_scale_in_supervised(
             ));
         }
         data_done = data_done.max(done);
-        *import_ns.entry(target).or_default() += items.len() as u64 * costs.import_ns_per_item;
+        *import_ns.entry(target).or_default() += shipment.len() as u64 * costs.import_ns_per_item;
         // Apply the import (items are hottest-first within each source's
         // class list; the store re-sorts/merges as configured).
         let node = live_node_mut(tier, target)?;
-        node.store.batch_import(class, &items, import_mode)?;
+        node.store
+            .batch_import(shipment.class, shipment.items(), import_mode)?;
         bytes_migrated += bytes;
-        items_migrated += items.len() as u64;
+        items_migrated += shipment.len() as u64;
     }
     phases.data_transfer = data_done.saturating_sub(data_start);
     phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
@@ -791,7 +1060,7 @@ pub fn migrate_scale_out(
     if new_nodes.is_empty() {
         return Err(ElmemError::InvalidScaling("no new nodes".to_string()));
     }
-    let members = tier.membership().members().to_vec();
+    let members = tier.membership().members();
     for id in new_nodes {
         if members.contains(id) {
             return Err(ElmemError::InvalidScaling(format!(
@@ -814,7 +1083,7 @@ pub fn migrate_scale_out(
     // and ships whatever lands on a new node. Under consistent hashing this
     // is ~1/(k+1) of its keys, which typically fits the new node outright.
     let mut moves: Vec<(NodeId, NodeId, ClassId, Vec<ItemMeta>)> = Vec::new();
-    for &src in &members {
+    for &src in members {
         let dump = live_node(tier, src)?.store.dump_metadata();
         items_considered += dump.total_items();
         dump_max = dump_max.max(SimTime::from_nanos(
@@ -904,8 +1173,7 @@ pub fn migrate_naive_scale_in(
             "naive fraction {fraction} outside [0, 1]"
         )));
     }
-    let members = tier.membership().members().to_vec();
-    validate_retiring(&members, retiring)?;
+    validate_retiring(tier.membership().members(), retiring)?;
     let retained_ring = tier.membership().ring().without(retiring);
 
     let mut phases = PhaseBreakdown::default();

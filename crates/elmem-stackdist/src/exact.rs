@@ -49,19 +49,29 @@ impl Fenwick {
     }
 
     fn grow(&mut self) {
-        // Rebuild at double capacity, preserving point values.
+        // Rebuild at double capacity, preserving point values, in O(n):
+        // run the classic in-place Fenwick construction *backwards* to
+        // recover point values (descending: `tree[i]` is final when its
+        // parent's contribution is removed), resize, then re-run it
+        // forwards over the widened array. The old approach recovered each
+        // value via two prefix sums and re-inserted with `add` — O(n log n)
+        // on every doubling.
         let old_n = self.len();
-        let mut values = vec![0u64; old_n];
-        for (i, v) in values.iter_mut().enumerate() {
-            *v = self.prefix(i) - if i == 0 { 0 } else { self.prefix(i - 1) };
-        }
-        let mut bigger = Fenwick::with_capacity((old_n * 2).max(1024));
-        for (i, v) in values.into_iter().enumerate() {
-            if v != 0 {
-                bigger.add(i, v as i128);
+        for i in (1..=old_n).rev() {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= old_n {
+                self.tree[parent] -= self.tree[i];
             }
         }
-        *self = bigger;
+        // tree[1..=old_n] now holds point values; positions past old_n are 0.
+        let new_n = (old_n * 2).max(1024);
+        self.tree.resize(new_n + 1, 0);
+        for i in 1..=new_n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= new_n {
+                self.tree[parent] += self.tree[i];
+            }
+        }
     }
 }
 
@@ -280,6 +290,21 @@ mod tests {
         }
         // Re-access the first key: distance = all 5000 keys' bytes.
         assert_eq!(e.record(KeyId(0), 1), Some(5000));
+    }
+
+    #[test]
+    fn growth_mid_stream_matches_brute_force() {
+        use elmem_util::DetRng;
+        // Enough distinct positions to force doublings past the initial
+        // 1024 capacity while live weights are scattered across the tree —
+        // the case `grow` must carry over exactly.
+        let mut rng = DetRng::seed(7);
+        let trace: Vec<(u64, u64)> = (0..2600)
+            .map(|_| (rng.next_below(900), 1 + rng.next_below(64)))
+            .collect();
+        let mut e = ExactStackDistance::new();
+        let got: Vec<Option<u64>> = trace.iter().map(|&(k, b)| e.record(KeyId(k), b)).collect();
+        assert_eq!(got, brute_force(&trace));
     }
 
     #[test]

@@ -23,10 +23,17 @@ impl ClassDump {
     /// The store's MRU list is ordered by *access recency*; items touched in
     /// the same instant may appear in either order there. Dumps are the
     /// interchange format between nodes, so they re-sort by full hotness
-    /// (timestamp + tie-break). The list is already nearly sorted, making
-    /// this cheap in practice.
+    /// (timestamp + tie-break). The list is already sorted — or nearly so —
+    /// in practice, so canonicalization detects the sorted run first
+    /// (one O(n) comparison pass, no allocation, the common case) and falls
+    /// back to a bounded insertion fixup for a handful of same-instant
+    /// inversions; only a genuinely disordered list pays the full sort.
+    ///
+    /// Hotness is a total order and keys within a class are distinct, so
+    /// every path produces the same unique descending order — callers can
+    /// not observe which one ran.
     pub fn new(class: ClassId, mut items: Vec<ItemMeta>) -> Self {
-        items.sort_by_key(|i| std::cmp::Reverse(i.hotness()));
+        canonicalize(&mut items);
         ClassDump { class, items }
     }
 
@@ -45,6 +52,46 @@ impl ClassDump {
     /// shipped in phase 1 (§III-D1).
     pub fn wire_bytes(&self) -> ByteSize {
         ByteSize((KEY_BYTES + TIMESTAMP_BYTES) * self.items.len() as u64)
+    }
+}
+
+/// Adjacent inversions tolerated before the fixup abandons insertion
+/// sifting for a full sort. Same-instant multi-get accesses produce a few
+/// local inversions per dump; a list with more than this many is treated
+/// as unsorted.
+const MAX_INVERSION_FIXUPS: usize = 64;
+
+/// Sorts `items` into descending hotness, exploiting near-sortedness.
+///
+/// One comparison pass finds the adjacent inversions. None (the common
+/// case: MRU lists are hotness-sorted under normal operation) — done, no
+/// writes at all. At most [`MAX_INVERSION_FIXUPS`] — insertion-sift from
+/// the first inversion onward, O(n + k·d) for k displaced items of travel
+/// distance d. More — full pattern-defeating sort.
+fn canonicalize(items: &mut [ItemMeta]) {
+    let mut first_inversion = None;
+    let mut inversions = 0usize;
+    for i in 1..items.len() {
+        if items[i - 1].hotness() < items[i].hotness() {
+            inversions += 1;
+            if first_inversion.is_none() {
+                first_inversion = Some(i);
+            }
+            if inversions > MAX_INVERSION_FIXUPS {
+                items.sort_unstable_by_key(|i| std::cmp::Reverse(i.hotness()));
+                return;
+            }
+        }
+    }
+    let Some(start) = first_inversion else {
+        return; // already sorted
+    };
+    for i in start..items.len() {
+        let mut j = i;
+        while j > 0 && items[j - 1].hotness() < items[j].hotness() {
+            items.swap(j - 1, j);
+            j -= 1;
+        }
     }
 }
 
@@ -100,6 +147,64 @@ mod tests {
         ]);
         assert_eq!(d.total_items(), 3);
         assert_eq!(d.wire_bytes().as_u64(), 63);
+    }
+
+    /// Reference canonical order: the full sort the fast paths must match.
+    fn full_sort(mut items: Vec<ItemMeta>) -> Vec<ItemMeta> {
+        items.sort_by_key(|i| std::cmp::Reverse(i.hotness()));
+        items
+    }
+
+    #[test]
+    fn sorted_input_is_untouched() {
+        let items: Vec<ItemMeta> = (0..100).map(|k| item(k, 1000 - k)).collect();
+        let d = ClassDump::new(ClassId(0), items.clone());
+        assert_eq!(d.items, items, "descending input must pass through as-is");
+    }
+
+    #[test]
+    fn few_inversions_fixed_by_insertion_path() {
+        // Mostly descending with a handful of local swaps — the
+        // same-instant multi-get pattern.
+        let mut items: Vec<ItemMeta> = (0..200).map(|k| item(k, 2000 - k)).collect();
+        items.swap(10, 11);
+        items.swap(50, 51);
+        items.swap(120, 121);
+        let expect = full_sort(items.clone());
+        assert_eq!(ClassDump::new(ClassId(0), items).items, expect);
+    }
+
+    #[test]
+    fn long_distance_displacement_fixed() {
+        // One very hot item buried at the tail: a single inversion whose
+        // fixup must travel the whole list.
+        let mut items: Vec<ItemMeta> = (0..100).map(|k| item(k, 1000 - k)).collect();
+        items.push(item(999, 5000));
+        let expect = full_sort(items.clone());
+        let d = ClassDump::new(ClassId(0), items);
+        assert_eq!(d.items, expect);
+        assert_eq!(d.items[0].key.0, 999);
+    }
+
+    #[test]
+    fn heavily_shuffled_falls_back_to_full_sort() {
+        // Ascending input: every adjacent pair is an inversion, far past
+        // the fixup budget.
+        let items: Vec<ItemMeta> = (0..500).map(|k| item(k, k + 1)).collect();
+        let expect = full_sort(items.clone());
+        assert_eq!(ClassDump::new(ClassId(0), items).items, expect);
+    }
+
+    #[test]
+    fn same_instant_ties_break_canonically() {
+        // All items share a timestamp: order is decided purely by the
+        // hotness tie-break, whatever order the MRU list had.
+        let fwd: Vec<ItemMeta> = (0..50).map(|k| item(k, 7)).collect();
+        let rev: Vec<ItemMeta> = (0..50).rev().map(|k| item(k, 7)).collect();
+        let a = ClassDump::new(ClassId(0), fwd.clone());
+        let b = ClassDump::new(ClassId(0), rev);
+        assert_eq!(a.items, b.items, "canonical order is input-order-free");
+        assert_eq!(a.items, full_sort(fwd));
     }
 
     #[test]

@@ -110,6 +110,41 @@ struct Slot {
     next: u32,
 }
 
+/// Memoized result of [`SlabStore::median_hotness`], invalidated by the
+/// class's MRU-list version counter.
+///
+/// The Master's §III-C scoring crawls every class's median once per
+/// decision round; between rounds most classes have not changed, so the
+/// O(n/2) list walk is paid once per *mutation epoch* instead of once per
+/// probe. A `Mutex` (never contended: one lock per cache probe, no
+/// blocking inside) rather than a `Cell` keeps the store `Sync`, which the
+/// parallel migration planner relies on to share `&CacheTier` across
+/// worker threads.
+#[derive(Debug, Default)]
+struct MedianCache(std::sync::Mutex<Option<(u64, Option<Hotness>)>>);
+
+impl MedianCache {
+    fn get(&self, version: u64) -> Option<Option<Hotness>> {
+        let cached = self.0.lock().expect("median cache lock");
+        match *cached {
+            Some((v, median)) if v == version => Some(median),
+            _ => None,
+        }
+    }
+
+    fn put(&self, version: u64, median: Option<Hotness>) {
+        *self.0.lock().expect("median cache lock") = Some((version, median));
+    }
+}
+
+impl Clone for MedianCache {
+    fn clone(&self) -> Self {
+        MedianCache(std::sync::Mutex::new(
+            *self.0.lock().expect("median cache lock"),
+        ))
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ClassState {
     chunks_per_page: u64,
@@ -123,6 +158,14 @@ struct ClassState {
     /// Evictions + allocation failures since the pressure counter was last
     /// read (drives the slab rebalancer's recipient choice).
     pressure: u64,
+    /// Bumped on every MRU-list mutation (link/unlink); all list surgery
+    /// funnels through `unlink`/`push_front`/`push_back`, so a stale
+    /// version is proof the list — and its median — is unchanged.
+    /// (`move_slot` relocates a chunk without reordering the list, so it
+    /// does not bump.)
+    version: u64,
+    /// Version-stamped memo of the class's median hotness.
+    median: MedianCache,
 }
 
 impl ClassState {
@@ -137,10 +180,13 @@ impl ClassState {
             pages: 0,
             bytes_used: 0,
             pressure: 0,
+            version: 0,
+            median: MedianCache::default(),
         }
     }
 
     fn unlink(&mut self, idx: u32) {
+        self.version += 1;
         let (prev, next) = {
             let s = &self.slots[idx as usize];
             (s.prev, s.next)
@@ -160,6 +206,7 @@ impl ClassState {
     }
 
     fn push_front(&mut self, idx: u32) {
+        self.version += 1;
         self.slots[idx as usize].prev = NIL;
         self.slots[idx as usize].next = self.head;
         if self.head != NIL {
@@ -172,6 +219,7 @@ impl ClassState {
     }
 
     fn push_back(&mut self, idx: u32) {
+        self.version += 1;
         self.slots[idx as usize].next = NIL;
         self.slots[idx as usize].prev = self.tail;
         if self.tail != NIL {
@@ -774,13 +822,23 @@ impl SlabStore {
     /// compares across nodes when choosing which node to retire, §III-C).
     ///
     /// Returns `None` for an empty class.
+    ///
+    /// The O(n/2) list walk is memoized against the class's mutation
+    /// version: repeated probes of an unchanged class (the Master scores
+    /// every node's every class per decision round) return the cached
+    /// median without touching the list.
     pub fn median_hotness(&self, class: ClassId) -> Option<Hotness> {
         let state = &self.class_states[class.0 as usize];
         if state.len == 0 {
             return None;
         }
+        if let Some(median) = state.median.get(state.version) {
+            return median;
+        }
         let target = (state.len / 2) as usize;
-        self.iter_class_mru(class).nth(target).map(|i| i.hotness())
+        let median = self.iter_class_mru(class).nth(target).map(|i| i.hotness());
+        state.median.put(state.version, median);
+        median
     }
 
     /// Imports migrated items into a class (the paper's batch-import
@@ -1152,6 +1210,45 @@ mod tests {
     fn median_hotness_empty_class() {
         let s = small_store();
         assert_eq!(s.median_hotness(ClassId(0)), None);
+    }
+
+    #[test]
+    fn median_cache_tracks_mutations() {
+        let mut s = small_store();
+        for k in 0..9 {
+            s.set(KeyId(k), 10, t(k + 1)).unwrap();
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let before = s.median_hotness(class).unwrap();
+        // A cached re-probe of the unchanged class agrees with itself.
+        assert_eq!(s.median_hotness(class), Some(before));
+        // Any access moves the list; the cached value must be dropped and
+        // the fresh walk must agree with a never-cached store.
+        s.get(KeyId(0), t(100)).unwrap();
+        let after = s.median_hotness(class).unwrap();
+        assert_ne!(after, before, "touching the coldest item moves the median");
+        let mut fresh = small_store();
+        for k in 0..9 {
+            fresh.set(KeyId(k), 10, t(k + 1)).unwrap();
+        }
+        fresh.get(KeyId(0), t(100)).unwrap();
+        assert_eq!(fresh.median_hotness(class), Some(after));
+    }
+
+    #[test]
+    fn median_cache_survives_clone() {
+        let mut s = small_store();
+        for k in 0..5 {
+            s.set(KeyId(k), 10, t(k + 1)).unwrap();
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let med = s.median_hotness(class);
+        let clone = s.clone();
+        assert_eq!(clone.median_hotness(class), med);
+        // Mutating the clone must not disturb the original's answer.
+        let mut clone = clone;
+        clone.get(KeyId(0), t(50)).unwrap();
+        assert_eq!(s.median_hotness(class), med);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Deterministic indexed parallel map — the one concurrency primitive the
+//! workspace uses.
+//!
+//! [`par_map_indexed`] runs a pure function over a slice on up to `jobs`
+//! worker threads and returns the results **in input order**: workers pull
+//! indices off a shared atomic cursor (so scheduling is nondeterministic),
+//! but results are collected keyed by index and reassembled afterwards on
+//! one thread. When every call is a pure function of `(index, item)`, the
+//! returned vector — and anything formatted from it — is byte-identical
+//! whatever `jobs` is. `jobs <= 1` (or a single item) takes a plain serial
+//! path with no threads at all: the reference the determinism tests
+//! compare against.
+//!
+//! Both the experiment sweep harness (`elmem-bench::sweep`) and the
+//! migration planner (`elmem-core::migration`) are built on this.
+
+/// Runs `f` over every item, on up to `jobs` worker threads, returning
+/// the results in item order.
+///
+/// `f` must be a pure function of `(index, item)` for the parallel run to
+/// be byte-identical to the serial one; the helper guarantees only the
+/// *ordering* (results keyed by index, reassembled in input order).
+///
+/// # Panics
+///
+/// Propagates a panic from any item's call.
+pub fn par_map_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    rayon::scope(|s| {
+        for _ in 0..jobs.min(items.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                tx.send((i, r)).expect("collector outlives workers");
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("item {i} produced no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let items: Vec<u64> = (0..32).collect();
+        let work = |_: usize, &s: &u64| {
+            (0..5_000u64).fold(s, |acc, i| {
+                acc.wrapping_mul(6364136223846793005).wrapping_add(i)
+            })
+        };
+        let serial = par_map_indexed(1, &items, work);
+        for jobs in [2, 3, 8] {
+            assert_eq!(serial, par_map_indexed(jobs, &items, work), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn call_gets_matching_index() {
+        let items: Vec<u64> = (100..120).collect();
+        let out = par_map_indexed(4, &items, |i, &c| (i, c));
+        for (i, (idx, c)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*c, items[i]);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<u64> = par_map_indexed(8, &[], |_, &c: &u64| c);
+        assert!(out.is_empty());
+        assert_eq!(par_map_indexed(8, &[9u64], |_, &c| c * 2), vec![18]);
+    }
+}
