@@ -1,0 +1,125 @@
+//! **Chaos sweep** — seeded randomized fault/scaling schedules with
+//! end-to-end integrity invariants.
+//!
+//! Each cell generates a [`ChaosPlan`] from its seed — crashes, link
+//! degradations, partitions, shipment-drop probabilities, overlapping
+//! scripted scale-ins/outs, optionally the autoscaler and the self-healing
+//! pipeline — runs it, and checks the invariant suite of
+//! `elmem_core::chaos` (DESIGN.md §12): store conservation audits, content
+//! fidelity, no stale serves, breaker/detector state-machine legality,
+//! telemetry ordering, migration phase pairing, healing convergence.
+//!
+//! A failing seed is automatically **shrunk** to a minimal reproducing
+//! plan and written to `results/chaos_failing_<seed>.json` (CI uploads
+//! it), then the process exits non-zero.
+//!
+//! `--smoke` sweeps 64 seeds (the CI gate); the full run sweeps 256.
+//! `--jobs N` bounds the worker threads; results are byte-identical at
+//! any worker count.
+
+use elmem_bench::sweep;
+use elmem_core::chaos::run_chaos;
+use elmem_sim::chaos::ChaosPlan;
+use elmem_sim::fault::FaultKind;
+
+fn fault_label(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::NodeCrash { .. } => "crash",
+        FaultKind::LinkSlowdown { .. } => "slow_link",
+        FaultKind::LinkPartition { .. } => "partition",
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seeds: Vec<u64> = if smoke {
+        (0..64).collect()
+    } else {
+        (0..256).collect()
+    };
+    println!(
+        "== Tab (chaos): {} seeded schedules, end-to-end invariants{} ==\n",
+        seeds.len(),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let reports = sweep::run_cells(sweep::jobs_from_cli(), &seeds, |_, &seed| {
+        let plan = ChaosPlan::generate(seed);
+        let report = run_chaos(&plan);
+        (plan, report)
+    });
+
+    let mut failing: Vec<(u64, ChaosPlan)> = Vec::new();
+    let mut fault_counts = std::collections::BTreeMap::new();
+    let mut action_total = 0usize;
+    let mut runs_with_healing = 0usize;
+    let mut runs_with_autoscaler = 0usize;
+    for (plan, report) in &reports {
+        for f in plan.faults.scheduled() {
+            *fault_counts.entry(fault_label(&f.kind)).or_insert(0usize) += 1;
+        }
+        action_total += plan.actions.len();
+        runs_with_healing += usize::from(plan.healing);
+        runs_with_autoscaler += usize::from(plan.autoscaler);
+        let status = if report.passed() {
+            "ok".to_string()
+        } else {
+            format!("FAIL ({})", report.violations.len())
+        };
+        println!(
+            "seed={:<4} nodes={} keys={:<6} dur={:<4}s faults={} actions={} heal={} scaler={} \
+             reqs={:<6} members={} -> {status}",
+            plan.seed,
+            plan.nodes,
+            plan.keys,
+            plan.duration_secs,
+            plan.faults.scheduled().len(),
+            plan.actions.len(),
+            u8::from(plan.healing),
+            u8::from(plan.autoscaler),
+            report.result.total_requests,
+            report.result.final_members,
+        );
+        for v in &report.violations {
+            println!("    violation: {v}");
+        }
+        if !report.passed() {
+            failing.push((plan.seed, plan.clone()));
+        }
+    }
+
+    println!(
+        "\n{} / {} schedules passed every invariant \
+         (faults swept: {:?}; {} scripted actions; {} runs with healing, {} with autoscaler)",
+        reports.len() - failing.len(),
+        reports.len(),
+        fault_counts,
+        action_total,
+        runs_with_healing,
+        runs_with_autoscaler,
+    );
+
+    if failing.is_empty() {
+        return;
+    }
+
+    // Shrink each failing schedule to a minimal reproduction and leave it
+    // where CI picks artifacts up.
+    std::fs::create_dir_all("results").expect("create results/");
+    for (seed, plan) in &failing {
+        println!("\nshrinking failing seed {seed}...");
+        let minimal = elmem_sim::chaos::shrink(plan, |p| !run_chaos(p).passed());
+        let report = run_chaos(&minimal);
+        let path = format!("results/chaos_failing_{seed}.json");
+        std::fs::write(&path, minimal.to_json()).expect("write failing schedule");
+        println!(
+            "  minimal plan ({} faults, {} actions) -> {path}",
+            minimal.faults.scheduled().len(),
+            minimal.actions.len()
+        );
+        for v in &report.violations {
+            println!("  still violates: {v}");
+        }
+    }
+    std::process::exit(1);
+}

@@ -145,7 +145,7 @@ fn main() {
     let t0 = Instant::now();
     let mut victims = Vec::new();
     for _ in 0..rounds {
-        victims = std::hint::black_box(choose_retiring(&tier, 1).0);
+        victims = std::hint::black_box(choose_retiring(&tier, 1).unwrap().0);
     }
     let scoring_wall = t0.elapsed().as_secs_f64();
     println!(

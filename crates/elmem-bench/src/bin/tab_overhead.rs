@@ -41,7 +41,7 @@ fn main() {
         }
 
         let costs = MigrationCosts::default();
-        let (victims, _) = choose_retiring(&cluster.tier, 1);
+        let (victims, _) = choose_retiring(&cluster.tier, 1).unwrap();
         let wall_start = std::time::Instant::now();
         let report = migrate_scale_in(
             &mut cluster.tier,

@@ -178,13 +178,30 @@ impl Cluster {
                 .on_lookup(Some(node_id), LookupClass::Failover, latency);
             return (latency, false);
         }
-        // One breaker-map walk per successful lookup (this is the hot
-        // path), not one per state read.
+        // Enforce the breaker even when the node is reachable again: an
+        // open breaker fails over fast until its cooldown elapses, and the
+        // first allowed request is the half-open probe. Without this gate
+        // a heal inside the cooldown would jump the breaker open → closed
+        // without ever probing. One breaker-map walk per lookup (this is
+        // the hot path), not one per state read.
         let breaker = self.breaker(node_id);
         let before = breaker.state();
+        let allowed = breaker.allows(now);
+        let probing = breaker.state();
+        if !allowed {
+            self.telemetry.on_breaker(now, node_id, before, probing);
+            self.fast_failovers += 1;
+            self.telemetry.on_fast_failover(now, node_id);
+            let fetch = self.db.fetch(now);
+            let latency = fetch.completion() - now;
+            self.telemetry
+                .on_lookup(Some(node_id), LookupClass::Failover, latency);
+            return (latency, false);
+        }
         breaker.record_success(now);
         let after = breaker.state();
-        self.telemetry.on_breaker(now, node_id, before, after);
+        self.telemetry.on_breaker(now, node_id, before, probing);
+        self.telemetry.on_breaker(now, node_id, probing, after);
         let hit = {
             let node = self.tier.node_mut(node_id).expect("member node exists");
             node.store.get(key, now).is_some()

@@ -320,6 +320,17 @@ pub fn run_experiment_with_telemetry(
     config: ExperimentConfig,
     tcfg: TelemetryConfig,
 ) -> ExperimentResult {
+    run_experiment_capture(config, tcfg).0
+}
+
+/// [`run_experiment_with_telemetry`], additionally returning the final
+/// [`Cluster`] so callers can audit end-of-run state — the chaos engine's
+/// post-run invariant checker inspects every surviving store directly
+/// instead of trusting the aggregated telemetry.
+pub fn run_experiment_capture(
+    config: ExperimentConfig,
+    tcfg: TelemetryConfig,
+) -> (ExperimentResult, Cluster) {
     let rng = DetRng::seed(config.seed);
     let mut cluster = Cluster::new(
         config.cluster.clone(),
@@ -579,7 +590,7 @@ pub fn run_experiment_with_telemetry(
     let series = series.finish(drain_end.max(last_now), &final_snap);
     let telemetry = TelemetryDump::assemble(config.seed, &tcfg, &cluster, series);
 
-    ExperimentResult {
+    let result = ExperimentResult {
         timeline: recorder.finish(),
         events,
         final_members: cluster.tier.membership().len() as u32,
@@ -592,7 +603,8 @@ pub fn run_experiment_with_telemetry(
         probes_sent: detector.as_ref().map_or(0, |d| d.probes_sent()),
         detector_transitions: detector.as_ref().map_or(0, |d| d.transitions()),
         telemetry,
-    }
+    };
+    (result, cluster)
 }
 
 /// Applies one deferred Master action and traces the membership flip it

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod autoscaler;
+pub mod chaos;
 pub mod elasticity;
 pub mod fusecache;
 pub mod healing;
@@ -46,9 +47,10 @@ pub mod scoring;
 pub mod telemetry;
 
 pub use autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
+pub use chaos::{check_invariants, experiment_for_plan, run_chaos, ChaosReport};
 pub use elasticity::{
-    run_experiment, run_experiment_with_telemetry, ExperimentConfig, ExperimentResult, ScaleAction,
-    ScalerConfig, ScalingEvent,
+    run_experiment, run_experiment_capture, run_experiment_with_telemetry, ExperimentConfig,
+    ExperimentResult, ScaleAction, ScalerConfig, ScalingEvent,
 };
 pub use fusecache::{
     fusecache, fusecache_instrumented, kway_top_n, sort_merge_top_n, SelectionStats,

@@ -171,7 +171,7 @@ impl Master {
         }
         let orch = match self.policy {
             MigrationPolicy::Baseline => {
-                let (victims, _) = choose_retiring(&cluster.tier, count as usize);
+                let (victims, _) = choose_retiring(&cluster.tier, count as usize)?;
                 cluster.tier.commit_remove(&victims)?;
                 Orchestration {
                     nodes: victims,
@@ -181,7 +181,7 @@ impl Master {
                 }
             }
             MigrationPolicy::ElMem { import } => {
-                let (victims, _) = choose_retiring(&cluster.tier, count as usize);
+                let (victims, _) = choose_retiring(&cluster.tier, count as usize)?;
                 let report = migrate_scale_in_supervised(
                     &mut cluster.tier,
                     &victims,
@@ -257,7 +257,7 @@ impl Master {
                 }
             }
             MigrationPolicy::CacheScale { window } => {
-                let (victims, _) = choose_retiring(&cluster.tier, count as usize);
+                let (victims, _) = choose_retiring(&cluster.tier, count as usize)?;
                 let old_ring = cluster.tier.membership().ring().clone();
                 cluster.tier.membership_remove_keep_online(&victims)?;
                 cluster.arm_secondary(old_ring);
@@ -620,7 +620,7 @@ mod tests {
         let now = SimTime::from_secs(10_000);
         // Learn who the Master will retire, then crash exactly that node
         // early in phase 1.
-        let (victims, _) = crate::scoring::choose_retiring(&c.tier, 1);
+        let (victims, _) = crate::scoring::choose_retiring(&c.tier, 1).unwrap();
         let victim = victims[0];
         let mut inj = FaultInjector::new(
             FaultPlan::new().crash(now + SimTime::from_millis(1), victim),

@@ -376,6 +376,8 @@ pub struct Shipment {
     pub class: ClassId,
     items: Vec<ItemMeta>,
     take: usize,
+    /// Content checksum over the chosen items, sealed at plan time.
+    checksum: u64,
 }
 
 impl Shipment {
@@ -393,6 +395,50 @@ impl Shipment {
     pub fn is_empty(&self) -> bool {
         self.take == 0
     }
+
+    /// The content checksum sealed when the shipment was planned.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recomputes the checksum over the current contents and compares it
+    /// against the sealed one — the end-to-end integrity check the chaos
+    /// engine runs at import time (DESIGN.md §12). Any mutation of the
+    /// item prefix between planning and import is caught here.
+    ///
+    /// # Errors
+    ///
+    /// [`ElmemError::InvariantViolation`] on mismatch.
+    pub fn verify_content(&self) -> Result<(), ElmemError> {
+        let fresh = shipment_checksum(self.items());
+        if fresh != self.checksum {
+            return Err(ElmemError::InvariantViolation(format!(
+                "shipment {}→{} {}: content checksum {fresh:#018x} != sealed {:#018x}",
+                self.source, self.target, self.class, self.checksum
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over every field of every item, in shipment order. Pure content
+/// hash: two shipments with the same items in the same order collide by
+/// construction.
+pub fn shipment_checksum(items: &[ItemMeta]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for item in items {
+        mix(item.key.0);
+        mix(u64::from(item.value_size));
+        mix(item.last_access.as_nanos());
+        mix(item.expires.as_nanos());
+    }
+    h
 }
 
 /// Statistics from a [`plan_scale_in_shipments`] planning pass.
@@ -524,12 +570,14 @@ fn build_shipments(
         for (si, (source, items)) in cell.sources.into_iter().enumerate() {
             let take = picks[si + 1].min(items.len());
             if take > 0 {
+                let checksum = shipment_checksum(&items[..take]);
                 outcome.plan.push(Shipment {
                     source,
                     target: cell.target,
                     class: cell.class,
                     items,
                     take,
+                    checksum,
                 });
             }
         }
@@ -1000,7 +1048,9 @@ pub fn migrate_scale_in_supervised(
         data_done = data_done.max(done);
         *import_ns.entry(target).or_default() += shipment.len() as u64 * costs.import_ns_per_item;
         // Apply the import (items are hottest-first within each source's
-        // class list; the store re-sorts/merges as configured).
+        // class list; the store re-sorts/merges as configured). The sealed
+        // checksum proves the shipment arrives exactly as planned.
+        shipment.verify_content()?;
         let node = live_node_mut(tier, target)?;
         node.store
             .batch_import(shipment.class, shipment.items(), import_mode)?;

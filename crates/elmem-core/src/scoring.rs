@@ -9,7 +9,7 @@
 
 use elmem_cluster::CacheTier;
 use elmem_store::SlabStore;
-use elmem_util::NodeId;
+use elmem_util::{ElmemError, NodeId};
 
 /// The §III-C node score: page-weighted sum of per-slab median hotness
 /// timestamps (seconds). Lower = colder = better to retire.
@@ -51,27 +51,35 @@ pub fn node_score(store: &SlabStore) -> f64 {
 /// retire. Returns the chosen ids together with the full sorted scoring,
 /// coldest first (useful for the Fig. 7 analysis).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `x` is not smaller than the membership size (the tier cannot
-/// scale to zero nodes).
-pub fn choose_retiring(tier: &CacheTier, x: usize) -> (Vec<NodeId>, Vec<(NodeId, f64)>) {
+/// * [`ElmemError::InvalidScaling`] if `x` is not smaller than the
+///   membership size (the tier cannot scale to zero nodes);
+/// * [`ElmemError::UnknownNode`] if the membership lists a node the tier
+///   does not hold (a torn commit — under chaos schedules this surfaces as
+///   an invariant failure rather than a panic).
+#[allow(clippy::type_complexity)]
+pub fn choose_retiring(
+    tier: &CacheTier,
+    x: usize,
+) -> Result<(Vec<NodeId>, Vec<(NodeId, f64)>), ElmemError> {
     let members = tier.membership().members();
-    assert!(
-        x < members.len(),
-        "cannot retire {x} of {} nodes",
-        members.len()
-    );
-    let mut scored: Vec<(NodeId, f64)> = members
-        .iter()
-        .map(|&id| {
-            let node = tier.node(id).expect("member node exists");
-            (id, node_score(&node.store))
-        })
-        .collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
+    if x >= members.len() {
+        return Err(ElmemError::InvalidScaling(format!(
+            "cannot retire {x} of {} nodes",
+            members.len()
+        )));
+    }
+    let mut scored: Vec<(NodeId, f64)> = Vec::with_capacity(members.len());
+    for &id in members.iter() {
+        let node = tier.node(id)?;
+        scored.push((id, node_score(&node.store)));
+    }
+    // Scores are finite (page weights and timestamps both are), so the
+    // comparison never sees a NaN; total_cmp keeps the sort infallible.
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
     let chosen = scored.iter().take(x).map(|(id, _)| *id).collect();
-    (chosen, scored)
+    Ok((chosen, scored))
 }
 
 #[cfg(test)]
@@ -101,7 +109,7 @@ mod tests {
     #[test]
     fn coldest_node_chosen() {
         let tier = warmed_tier();
-        let (chosen, scored) = choose_retiring(&tier, 1);
+        let (chosen, scored) = choose_retiring(&tier, 1).unwrap();
         assert_eq!(chosen, vec![NodeId(0)]);
         assert_eq!(scored.len(), 4);
         // Scores strictly increase with node id in this construction.
@@ -113,7 +121,7 @@ mod tests {
     #[test]
     fn multiple_victims_are_the_coldest_set() {
         let tier = warmed_tier();
-        let (chosen, _) = choose_retiring(&tier, 2);
+        let (chosen, _) = choose_retiring(&tier, 2).unwrap();
         assert_eq!(chosen, vec![NodeId(0), NodeId(1)]);
     }
 
@@ -145,9 +153,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn retiring_all_nodes_panics() {
+    fn retiring_all_nodes_is_an_error() {
         let tier = warmed_tier();
-        let _ = choose_retiring(&tier, 4);
+        let err = choose_retiring(&tier, 4).unwrap_err();
+        assert!(matches!(err, ElmemError::InvalidScaling(_)), "{err}");
     }
 }

@@ -34,6 +34,7 @@
 //! assert!(matches!(due[1].1, FaultAction::RestoreLink(NodeId(1))));
 //! ```
 
+use elmem_util::json::JsonValue;
 use elmem_util::{DetRng, NodeId, SimTime};
 
 /// One scheduled failure in a [`FaultPlan`].
@@ -151,6 +152,151 @@ impl FaultPlan {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.transfer_drop_prob = p;
         self
+    }
+
+    /// Rebuilds a plan from its parts (the chaos shrinker edits schedules
+    /// wholesale rather than through the fluent builders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn from_parts(
+        scheduled: Vec<ScheduledFault>,
+        metadata_drop_prob: f64,
+        transfer_drop_prob: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&metadata_drop_prob),
+            "probability out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&transfer_drop_prob),
+            "probability out of range"
+        );
+        FaultPlan {
+            scheduled,
+            metadata_drop_prob,
+            transfer_drop_prob,
+        }
+    }
+
+    /// Appends the plan's canonical JSON encoding to `out`.
+    ///
+    /// The encoding is byte-stable: field order is fixed, times are integer
+    /// nanoseconds, and floats use Rust's shortest-round-trip formatting,
+    /// so parse → reserialize reproduces the input byte for byte.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"metadata_drop_prob\":{},\"transfer_drop_prob\":{},\"scheduled\":[",
+            self.metadata_drop_prob, self.transfer_drop_prob
+        );
+        for (i, fault) in self.scheduled.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"at_ns\":{}", fault.at.as_nanos());
+            match fault.kind {
+                FaultKind::NodeCrash { node } => {
+                    let _ = write!(out, ",\"kind\":\"crash\",\"node\":{}", node.0);
+                }
+                FaultKind::LinkSlowdown {
+                    node,
+                    factor,
+                    duration,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"kind\":\"slow_link\",\"node\":{},\"factor\":{},\"duration_ns\":{}",
+                        node.0,
+                        factor,
+                        duration.as_nanos()
+                    );
+                }
+                FaultKind::LinkPartition { node, duration } => {
+                    let _ = write!(
+                        out,
+                        ",\"kind\":\"partition\",\"node\":{},\"duration_ns\":{}",
+                        node.0,
+                        duration.as_nanos()
+                    );
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+
+    /// The plan's canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Reconstructs a plan from a value produced by [`Self::write_json`].
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(value: &JsonValue) -> Result<FaultPlan, String> {
+        let prob = |key: &str| -> Result<f64, String> {
+            let p = value
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("fault plan missing '{key}'"))?;
+            if (0.0..=1.0).contains(&p) {
+                Ok(p)
+            } else {
+                Err(format!("'{key}' out of range: {p}"))
+            }
+        };
+        let metadata_drop_prob = prob("metadata_drop_prob")?;
+        let transfer_drop_prob = prob("transfer_drop_prob")?;
+        let entries = value
+            .get("scheduled")
+            .and_then(JsonValue::as_array)
+            .ok_or("fault plan missing 'scheduled'")?;
+        let mut scheduled = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let field_u64 = |key: &str| -> Result<u64, String> {
+                entry
+                    .get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("scheduled fault missing '{key}'"))
+            };
+            let at = SimTime::from_nanos(field_u64("at_ns")?);
+            let node = NodeId(field_u64("node")? as u32);
+            let kind = match entry.get("kind").and_then(JsonValue::as_str) {
+                Some("crash") => FaultKind::NodeCrash { node },
+                Some("slow_link") => {
+                    let factor = entry
+                        .get("factor")
+                        .and_then(JsonValue::as_f64)
+                        .ok_or("scheduled fault missing 'factor'")?;
+                    if !(factor >= 1.0 && factor.is_finite()) {
+                        return Err(format!("invalid slowdown factor {factor}"));
+                    }
+                    FaultKind::LinkSlowdown {
+                        node,
+                        factor,
+                        duration: SimTime::from_nanos(field_u64("duration_ns")?),
+                    }
+                }
+                Some("partition") => FaultKind::LinkPartition {
+                    node,
+                    duration: SimTime::from_nanos(field_u64("duration_ns")?),
+                },
+                other => return Err(format!("unknown fault kind {other:?}")),
+            };
+            scheduled.push(ScheduledFault { at, kind });
+        }
+        Ok(FaultPlan {
+            scheduled,
+            metadata_drop_prob,
+            transfer_drop_prob,
+        })
     }
 }
 
@@ -356,5 +502,36 @@ mod tests {
     #[should_panic]
     fn drop_probability_out_of_range_rejected() {
         let _ = FaultPlan::new().drop_metadata_with_prob(1.5);
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let plan = FaultPlan::new()
+            .crash(secs(30), NodeId(2))
+            .slow_link(secs(10), NodeId(1), 4.0, secs(5))
+            .partition(SimTime::from_millis(1500), NodeId(0), secs(6))
+            .drop_metadata_with_prob(0.25)
+            .drop_transfers_with_prob(0.1);
+        let json = plan.to_json();
+        let parsed = FaultPlan::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.to_json(), json, "reserialization is byte-identical");
+    }
+
+    #[test]
+    fn json_rejects_malformed_plans() {
+        let bad = |s: &str| FaultPlan::from_json(&JsonValue::parse(s).unwrap()).is_err();
+        assert!(bad("{}"));
+        assert!(bad(
+            "{\"metadata_drop_prob\":2.0,\"transfer_drop_prob\":0,\"scheduled\":[]}"
+        ));
+        assert!(bad(concat!(
+            "{\"metadata_drop_prob\":0,\"transfer_drop_prob\":0,",
+            "\"scheduled\":[{\"at_ns\":1,\"kind\":\"melt\",\"node\":0}]}"
+        )));
+        assert!(bad(concat!(
+            "{\"metadata_drop_prob\":0,\"transfer_drop_prob\":0,\"scheduled\":",
+            "[{\"at_ns\":1,\"kind\":\"slow_link\",\"node\":0,\"factor\":0.5,\"duration_ns\":1}]}"
+        )));
     }
 }

@@ -21,11 +21,13 @@
 //! assert_eq!((t, e), (SimTime::from_secs(1), "sooner"));
 //! ```
 
+pub mod chaos;
 pub mod events;
 pub mod fault;
 pub mod network;
 pub mod queueing;
 
+pub use chaos::{ChaosAction, ChaosLimits, ChaosPlan, ScheduledChaosAction};
 pub use events::EventQueue;
 pub use fault::{FaultAction, FaultInjector, FaultKind, FaultPlan, ScheduledFault};
 pub use network::Link;

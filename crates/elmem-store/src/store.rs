@@ -951,6 +951,173 @@ impl SlabStore {
         self.stats.evictions += merged.len() as u64 - inserted;
         Ok(kept_incoming)
     }
+
+    /// Exhaustively checks the store's internal invariants: per-class slot
+    /// accounting (every chunk is exactly occupied or free), MRU-list
+    /// structure (forward and backward walks agree with the length
+    /// counter), byte and page conservation, and index ↔ slot agreement.
+    ///
+    /// This is the slab/byte-conservation leg of the chaos engine's
+    /// invariant checker (DESIGN.md §12); it is O(items) and intended for
+    /// post-run audits, not the request path.
+    ///
+    /// # Errors
+    ///
+    /// [`ElmemError::InvariantViolation`] naming the first broken invariant
+    /// (checked in a deterministic order).
+    pub fn audit(&self) -> Result<(), ElmemError> {
+        let fail = |msg: String| Err(ElmemError::InvariantViolation(msg));
+        let mut total_len = 0u64;
+        let mut total_pages = 0u64;
+        for (ci, state) in self.class_states.iter().enumerate() {
+            let occupied = state.slots.iter().filter(|s| s.item.is_some()).count() as u64;
+            if occupied != state.len {
+                return fail(format!(
+                    "class {ci}: len counter {} but {occupied} occupied slots",
+                    state.len
+                ));
+            }
+            if state.free.len() as u64 + occupied != state.slots.len() as u64 {
+                return fail(format!(
+                    "class {ci}: {} free + {occupied} occupied != {} slots",
+                    state.free.len(),
+                    state.slots.len()
+                ));
+            }
+            let mut free_sorted: Vec<u32> = state.free.clone();
+            free_sorted.sort_unstable();
+            free_sorted.dedup();
+            if free_sorted.len() != state.free.len() {
+                return fail(format!("class {ci}: duplicate entries in free list"));
+            }
+            for &idx in &free_sorted {
+                match state.slots.get(idx as usize) {
+                    None => return fail(format!("class {ci}: free slot {idx} out of range")),
+                    Some(slot) if slot.item.is_some() => {
+                        return fail(format!("class {ci}: free slot {idx} is occupied"));
+                    }
+                    Some(_) => {}
+                }
+            }
+            if state.slots.len() as u64 != state.pages * state.chunks_per_page {
+                return fail(format!(
+                    "class {ci}: {} slots but {} pages of {} chunks",
+                    state.slots.len(),
+                    state.pages,
+                    state.chunks_per_page
+                ));
+            }
+            let bytes: u64 = state
+                .slots
+                .iter()
+                .filter_map(|s| s.item.as_ref())
+                .map(|i| i.footprint())
+                .sum();
+            if bytes != state.bytes_used {
+                return fail(format!(
+                    "class {ci}: bytes_used {} but item footprints sum to {bytes}",
+                    state.bytes_used
+                ));
+            }
+            // Forward MRU walk: every linked slot occupied, prev pointers
+            // mirror next pointers, and the walk covers exactly `len` items.
+            let mut walked = 0u64;
+            let mut prev = NIL;
+            let mut cursor = state.head;
+            while cursor != NIL {
+                let slot = match state.slots.get(cursor as usize) {
+                    Some(s) => s,
+                    None => return fail(format!("class {ci}: MRU cursor {cursor} out of range")),
+                };
+                if slot.item.is_none() {
+                    return fail(format!("class {ci}: MRU-linked slot {cursor} is empty"));
+                }
+                if slot.prev != prev {
+                    return fail(format!(
+                        "class {ci}: slot {cursor} prev {} != expected {prev}",
+                        slot.prev
+                    ));
+                }
+                walked += 1;
+                if walked > state.len {
+                    return fail(format!("class {ci}: MRU list longer than len (cycle?)"));
+                }
+                prev = cursor;
+                cursor = slot.next;
+            }
+            if walked != state.len {
+                return fail(format!(
+                    "class {ci}: MRU walk covered {walked} of {} items",
+                    state.len
+                ));
+            }
+            if state.tail != prev {
+                return fail(format!(
+                    "class {ci}: tail {} but MRU walk ended at {prev}",
+                    state.tail
+                ));
+            }
+            total_len += state.len;
+            total_pages += state.pages;
+        }
+        if total_pages != self.pages_used {
+            return fail(format!(
+                "pages_used {} but classes hold {total_pages}",
+                self.pages_used
+            ));
+        }
+        if self.pages_used > self.pages_total {
+            return fail(format!(
+                "pages_used {} exceeds pages_total {}",
+                self.pages_used, self.pages_total
+            ));
+        }
+        if self.index.len() as u64 != total_len {
+            return fail(format!(
+                "index holds {} keys but classes hold {total_len} items",
+                self.index.len()
+            ));
+        }
+        // Index → slot agreement. The index iterates in hash order, so any
+        // violations are collected and the smallest key reported to keep
+        // the message deterministic.
+        let mut bad_key: Option<(KeyId, String)> = None;
+        for (&key, &(class, idx)) in self.index.iter() {
+            let problem = match self
+                .class_states
+                .get(class as usize)
+                .and_then(|s| s.slots.get(idx as usize))
+            {
+                None => Some(format!("{key} maps to out-of-range slot {class}/{idx}")),
+                Some(slot) => match slot.item {
+                    None => Some(format!("{key} maps to empty slot {class}/{idx}")),
+                    Some(item) if item.key != key => {
+                        Some(format!("{key} maps to slot holding {}", item.key))
+                    }
+                    Some(_) => None,
+                },
+            };
+            if let Some(msg) = problem {
+                if bad_key.as_ref().is_none_or(|(k, _)| key < *k) {
+                    bad_key = Some((key, msg));
+                }
+            }
+        }
+        if let Some((_, msg)) = bad_key {
+            return fail(format!("index: {msg}"));
+        }
+        Ok(())
+    }
+
+    /// Deliberately breaks the byte accounting of the first non-empty
+    /// class. Exists so cross-crate tests can prove [`SlabStore::audit`]
+    /// catches corruption; never call it outside tests.
+    #[doc(hidden)]
+    pub fn corrupt_bytes_used_for_tests(&mut self) {
+        if let Some(state) = self.class_states.iter_mut().find(|s| s.len > 0) {
+            state.bytes_used += 1;
+        }
+    }
 }
 
 /// Iterator over a class's items in MRU order. Created by
@@ -1429,5 +1596,49 @@ mod tests {
     #[should_panic]
     fn zero_memory_store_rejected() {
         let _ = SlabStore::new(StoreConfig::with_memory(ByteSize::from_kib(4)));
+    }
+
+    #[test]
+    fn audit_passes_through_store_lifecycle() {
+        let mut s = small_store();
+        s.audit().unwrap();
+        for k in 0..500 {
+            // A 2 MiB store has two pages; sets that land in a third class
+            // legitimately fail with OutOfMemory, which must still leave
+            // the store consistent.
+            let _ = s.set(KeyId(k), 50 + (k as u32 % 400), t(k));
+            if k % 7 == 0 {
+                s.get(KeyId(k / 2), t(k)).map(|_| ()).unwrap_or(());
+            }
+            if k % 11 == 0 {
+                s.delete(KeyId(k / 3));
+            }
+        }
+        s.audit().unwrap();
+        // Imports, rebalancing, eviction, flush: still consistent.
+        let class = s.classes().class_for(item_footprint(100)).unwrap();
+        let batch: Vec<ItemMeta> = (1000..1020)
+            .map(|k| ItemMeta::new(KeyId(k), 100, t(600)))
+            .collect();
+        s.batch_import(class, &batch, ImportMode::Merge).unwrap();
+        s.audit().unwrap();
+        s.evict_lru(class);
+        s.audit().unwrap();
+        s.flush_all();
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_detects_corruption() {
+        let mut s = small_store();
+        for k in 0..20 {
+            s.set(KeyId(k), 50, t(k)).unwrap();
+        }
+        // Corrupt a byte counter behind the accessors' backs.
+        let class = s.classes().class_for(item_footprint(50)).unwrap();
+        s.class_states[class.0 as usize].bytes_used += 1;
+        let err = s.audit().unwrap_err();
+        assert!(matches!(err, ElmemError::InvariantViolation(_)), "{err}");
+        assert!(err.to_string().contains("bytes_used"), "{err}");
     }
 }

@@ -34,6 +34,8 @@ pub enum ElmemError {
     InconsistentMigration(String),
     /// Configuration value out of range.
     InvalidConfig(String),
+    /// A machine-checked integrity invariant failed (chaos testing).
+    InvariantViolation(String),
 }
 
 impl fmt::Display for ElmemError {
@@ -54,6 +56,7 @@ impl fmt::Display for ElmemError {
                 write!(f, "inconsistent migration state: {msg}")
             }
             ElmemError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ElmemError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
         }
     }
 }

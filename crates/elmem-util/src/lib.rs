@@ -23,6 +23,7 @@ pub mod bytesize;
 pub mod costmodel;
 pub mod error;
 pub mod hashutil;
+pub mod json;
 pub mod par;
 pub mod rng;
 pub mod stats;

@@ -66,7 +66,7 @@ fn main() {
         by_choice.push((id, report.items_migrated));
     }
 
-    let (chosen, _) = choose_retiring(&cluster.tier, 1);
+    let (chosen, _) = choose_retiring(&cluster.tier, 1).unwrap();
     let best = by_choice
         .iter()
         .min_by_key(|(_, items)| *items)

@@ -61,7 +61,7 @@ fn main() {
     );
 
     // ElMem scale-in: score nodes, migrate the hottest data, flip.
-    let (victims, scored) = choose_retiring(&cluster.tier, 1);
+    let (victims, scored) = choose_retiring(&cluster.tier, 1).unwrap();
     println!("\nnode scores (coldest first):");
     for (id, score) in &scored {
         println!("  {id}: {score:.1}");

@@ -42,7 +42,7 @@ fn migration_preserves_global_hottest_set() {
     let now = SimTime::from_secs(100_000);
 
     // Pick the coldest node, migrate, flip.
-    let (victims, _) = choose_retiring(&cluster.tier, 1);
+    let (victims, _) = choose_retiring(&cluster.tier, 1).unwrap();
     let report = migrate_scale_in(
         &mut cluster.tier,
         &victims,
@@ -89,7 +89,7 @@ fn migration_under_memory_pressure_keeps_sorted_lists() {
     }
     assert!(cluster.tier.total_items() > 0);
 
-    let (victims, _) = choose_retiring(&cluster.tier, 1);
+    let (victims, _) = choose_retiring(&cluster.tier, 1).unwrap();
     migrate_scale_in(
         &mut cluster.tier,
         &victims,
@@ -115,7 +115,7 @@ fn migration_under_memory_pressure_keeps_sorted_lists() {
 fn post_flip_requests_hit_migrated_data() {
     let (mut cluster, _) = warmed();
     let now = SimTime::from_secs(100_000);
-    let (victims, _) = choose_retiring(&cluster.tier, 1);
+    let (victims, _) = choose_retiring(&cluster.tier, 1).unwrap();
 
     // Keys that lived on the victim before the flip.
     let victim_keys: Vec<KeyId> = (0..4000u64)
@@ -152,7 +152,7 @@ fn post_flip_requests_hit_migrated_data() {
 #[test]
 fn baseline_scale_in_loses_victim_data() {
     let (mut cluster, _) = warmed();
-    let (victims, _) = choose_retiring(&cluster.tier, 1);
+    let (victims, _) = choose_retiring(&cluster.tier, 1).unwrap();
     let victim_keys: Vec<KeyId> = (0..4000u64)
         .map(KeyId)
         .filter(|&k| cluster.tier.node_for_key(k) == Some(victims[0]))
@@ -185,7 +185,7 @@ fn scoring_identifies_a_deliberately_cold_node() {
                 .unwrap();
         }
     }
-    let (victims, scored) = choose_retiring(&cluster.tier, 1);
+    let (victims, scored) = choose_retiring(&cluster.tier, 1).unwrap();
     assert_eq!(victims, vec![NodeId(0)]);
     assert_eq!(scored[0].0, NodeId(0));
 }

@@ -39,7 +39,7 @@ fn migrated_items_keep_their_ttl() {
         }
     }
 
-    let (victims, _) = choose_retiring(&c.tier, 1);
+    let (victims, _) = choose_retiring(&c.tier, 1).unwrap();
     migrate_scale_in(
         &mut c.tier,
         &victims,
