@@ -91,6 +91,7 @@ fn main() {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed: 5,
     }];
     let result = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, cfg| {

@@ -3,16 +3,23 @@
 //!
 //! Each cell generates a [`ChaosPlan`] from its seed — crashes, link
 //! degradations, partitions, shipment-drop probabilities, overlapping
-//! scripted scale-ins/outs, optionally the autoscaler and the self-healing
+//! scripted scale-ins/outs, **Master crashes mid-migration** (restart +
+//! journal resume), optionally the autoscaler and the self-healing
 //! pipeline — runs it, and checks the invariant suite of
-//! `elmem_core::chaos` (DESIGN.md §12): store conservation audits, content
-//! fidelity, no stale serves, breaker/detector state-machine legality,
-//! telemetry ordering, migration phase pairing, healing convergence.
+//! `elmem_core::chaos` (DESIGN.md §12–13): store conservation audits,
+//! content fidelity, no stale serves, breaker/detector state-machine
+//! legality, telemetry ordering, migration phase pairing, healing
+//! convergence, and journal coherence (no shipment lost, none applied
+//! twice).
 //!
 //! A failing seed is automatically **shrunk** to a minimal reproducing
-//! plan and written to `results/chaos_failing_<seed>.json` (CI uploads
-//! it), then the process exits non-zero.
+//! plan and written to `results/chaos_failing_<seed>.json`, with the
+//! minimal run's migration journal next to it as
+//! `results/chaos_journal_<seed>.json` (CI uploads both), then the
+//! process exits non-zero.
 //!
+//! `--replay <path>` re-runs one committed reproduction (a
+//! `chaos_failing_<seed>.json`) directly instead of sweeping.
 //! `--smoke` sweeps 64 seeds (the CI gate); the full run sweeps 256.
 //! `--jobs N` bounds the worker threads; results are byte-identical at
 //! any worker count.
@@ -30,8 +37,52 @@ fn fault_label(kind: &FaultKind) -> &'static str {
     }
 }
 
+fn replay(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let plan = ChaosPlan::parse_json(text.trim_end()).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("== Tab (chaos): replaying {path} ==\n");
+    let report = run_chaos(&plan);
+    println!(
+        "seed={} nodes={} keys={} dur={}s faults={} actions={} master_crashes={} \
+         reqs={} members={}",
+        plan.seed,
+        plan.nodes,
+        plan.keys,
+        plan.duration_secs,
+        plan.faults.scheduled().len(),
+        plan.actions.len(),
+        plan.master_crashes.len(),
+        report.result.total_requests,
+        report.result.final_members,
+    );
+    if report.passed() {
+        println!("\nreplay passed every invariant");
+        std::process::exit(0);
+    }
+    for v in &report.violations {
+        println!("violation: {v}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--replay") {
+        match args.get(i + 1) {
+            Some(path) => replay(path),
+            None => {
+                eprintln!("--replay requires a path to a chaos plan JSON");
+                std::process::exit(2);
+            }
+        }
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
     let seeds: Vec<u64> = if smoke {
         (0..64).collect()
     } else {
@@ -52,6 +103,7 @@ fn main() {
     let mut failing: Vec<(u64, ChaosPlan)> = Vec::new();
     let mut fault_counts = std::collections::BTreeMap::new();
     let mut action_total = 0usize;
+    let mut master_crash_total = 0usize;
     let mut runs_with_healing = 0usize;
     let mut runs_with_autoscaler = 0usize;
     for (plan, report) in &reports {
@@ -59,6 +111,7 @@ fn main() {
             *fault_counts.entry(fault_label(&f.kind)).or_insert(0usize) += 1;
         }
         action_total += plan.actions.len();
+        master_crash_total += plan.master_crashes.len();
         runs_with_healing += usize::from(plan.healing);
         runs_with_autoscaler += usize::from(plan.autoscaler);
         let status = if report.passed() {
@@ -67,14 +120,15 @@ fn main() {
             format!("FAIL ({})", report.violations.len())
         };
         println!(
-            "seed={:<4} nodes={} keys={:<6} dur={:<4}s faults={} actions={} heal={} scaler={} \
-             reqs={:<6} members={} -> {status}",
+            "seed={:<4} nodes={} keys={:<6} dur={:<4}s faults={} actions={} mcrash={} heal={} \
+             scaler={} reqs={:<6} members={} -> {status}",
             plan.seed,
             plan.nodes,
             plan.keys,
             plan.duration_secs,
             plan.faults.scheduled().len(),
             plan.actions.len(),
+            plan.master_crashes.len(),
             u8::from(plan.healing),
             u8::from(plan.autoscaler),
             report.result.total_requests,
@@ -90,11 +144,13 @@ fn main() {
 
     println!(
         "\n{} / {} schedules passed every invariant \
-         (faults swept: {:?}; {} scripted actions; {} runs with healing, {} with autoscaler)",
+         (faults swept: {:?}; {} scripted actions; {} Master crashes; \
+         {} runs with healing, {} with autoscaler)",
         reports.len() - failing.len(),
         reports.len(),
         fault_counts,
         action_total,
+        master_crash_total,
         runs_with_healing,
         runs_with_autoscaler,
     );
@@ -112,10 +168,17 @@ fn main() {
         let report = run_chaos(&minimal);
         let path = format!("results/chaos_failing_{seed}.json");
         std::fs::write(&path, minimal.to_json()).expect("write failing schedule");
+        // The minimal run's migration journal, for post-mortem: which
+        // migrations started, sealed, acked what, resumed, committed.
+        let journal_path = format!("results/chaos_journal_{seed}.json");
+        std::fs::write(&journal_path, report.result.journal.to_json())
+            .expect("write failing journal");
         println!(
-            "  minimal plan ({} faults, {} actions) -> {path}",
+            "  minimal plan ({} faults, {} actions, {} Master crashes) -> {path} \
+             (journal: {journal_path})",
             minimal.faults.scheduled().len(),
-            minimal.actions.len()
+            minimal.actions.len(),
+            minimal.master_crashes.len()
         );
         for v in &report.violations {
             println!("  still violates: {v}");

@@ -64,6 +64,7 @@ fn single_cell(smoke: bool) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed: 7,
     }
 }
@@ -96,6 +97,7 @@ fn sweep_cell(seed: u64, smoke: bool) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed,
     }
 }

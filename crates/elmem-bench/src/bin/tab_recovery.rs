@@ -13,16 +13,26 @@
 //!   supervised FuseCache migration before joining the ring: capacity is
 //!   restored and the hit rate climbs back to the pre-crash level.
 //!
+//! A second table (EXPERIMENTS.md E18) crashes the **Master** mid-way
+//! through a scheduled scale-in migration on the same seed and compares
+//! the two recovery policies: journal **resume** (the restarted Master
+//! replays the WAL and continues from the last durable shipment) vs
+//! **abort-and-restart** (the journal is abandoned; the scaling commits
+//! cold, so the victims' hot data is lost and refills through misses).
+//! Resume must recover the hit rate strictly faster.
+//!
 //! `--smoke` runs a seconds-long small-tier version of the same comparison
 //! for CI; the assertions (detection inside the suspicion window, tail
-//! hit-rate ordering warm > evict > none) hold in both modes.
+//! hit-rate ordering warm > evict > none, resume beating abort) hold in
+//! both modes.
 
 use elmem_bench::exp::laptop_experiment;
 use elmem_bench::sweep;
 use elmem_cluster::ClusterConfig;
 use elmem_core::migration::MigrationCosts;
 use elmem_core::{
-    run_experiment, ExperimentConfig, ExperimentResult, FaultPlan, HealingConfig, MigrationPolicy,
+    run_experiment, ExperimentConfig, ExperimentResult, FaultPlan, HealingConfig, MasterRecovery,
+    MigrationPolicy, ScaleAction,
 };
 use elmem_util::stats::hit_rate_recovery_secs;
 use elmem_util::{NodeId, SimTime};
@@ -87,6 +97,7 @@ fn smoke_experiment(healing: Option<HealingConfig>) -> (ExperimentConfig, Scenar
         costs: MigrationCosts::default(),
         faults: FaultPlan::new().crash(SimTime::from_secs(scenario.crash_s), NodeId(1)),
         healing,
+        master: Default::default(),
         seed: 2,
     };
     (cfg, scenario)
@@ -130,6 +141,110 @@ fn row(label: &str, r: &ExperimentResult, s: &Scenario) {
         r.fast_failovers,
         r.breaker_transitions,
         mean_hit_rate(r, s.tail_from, s.tail_to),
+    );
+}
+
+/// E18: the same scheduled scale-in, same seed, with the Master crashing
+/// 200 ms into the migration — once resuming from the journal, once
+/// aborting (the scaling commits cold). Returns `(resume, abort, scale_s)`.
+fn resume_vs_abort_experiments(smoke: bool) -> (ExperimentConfig, ExperimentConfig, Scenario) {
+    let (mut cfg, scenario) = if smoke {
+        smoke_experiment(None)
+    } else {
+        full_experiment(None)
+    };
+    let scale_s = scenario.crash_s;
+    // The only event is the scale-in; the Master crash interrupts its
+    // migration rather than any cache node failing. The laptop tier
+    // retires three of ten nodes (ElMem picks the *least valuable*
+    // victims, so a single-node cold commit barely dents the hit rate);
+    // the four-node smoke tier can only spare one.
+    let count = if smoke { 1 } else { 3 };
+    cfg.faults = FaultPlan::new();
+    cfg.scheduled = vec![(SimTime::from_secs(scale_s), ScaleAction::In { count })];
+    cfg.master.crashes = vec![SimTime::from_secs(scale_s) + SimTime::from_millis(200)];
+    let mut abort = cfg.clone();
+    abort.master.recovery = MasterRecovery::Abort;
+    (cfg, abort, scenario)
+}
+
+fn resume_vs_abort(smoke: bool) {
+    let (resume_cfg, abort_cfg, scenario) = resume_vs_abort_experiments(smoke);
+    let scale_s = scenario.crash_s;
+    let cells = [resume_cfg, abort_cfg];
+    let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, cfg| {
+        run_experiment(cfg.clone())
+    })
+    .into_iter();
+    let resume = results.next().expect("resume cell ran");
+    let abort = results.next().expect("abort cell ran");
+
+    // The two runs are byte-identical up to the crash, so the resume run's
+    // pre-scaling hit rate is the shared baseline. "Recovered" is measured
+    // against the *post-scale* steady state (the resume run's tail) — the
+    // smaller tier cannot reach the pre-scale hit rate at all, and the
+    // question E18 asks is how long each policy takes to get back to what
+    // the shrunk tier can sustain.
+    let pre = mean_hit_rate(&resume, scale_s / 2, scale_s);
+    let steady = mean_hit_rate(&resume, scenario.tail_from, scenario.tail_to);
+    let restore = |r: &ExperimentResult| {
+        hit_rate_recovery_secs(
+            &r.timeline,
+            scale_s,
+            steady * RECOVERY_FRACTION,
+            SUSTAIN_SECS,
+        )
+    };
+    let show = |v: Option<u64>| {
+        v.map(|s| format!("{s}s"))
+            .unwrap_or_else(|| "never".to_string())
+    };
+
+    println!("\n== E18: Master crash mid-migration — journal resume vs abort-and-restart ==\n");
+    for (label, r) in [("resume", &resume), ("abort", &abort)] {
+        let replay = r.journal.replay(0);
+        println!(
+            "{label:<8} members={}  resumes={}  committed={}  aborted={}  pre_hit={pre:>6.4}  \
+             steady_hit={steady:>6.4}  hit_restore={}",
+            r.final_members,
+            replay.resumes,
+            replay.committed,
+            replay.aborted,
+            show(restore(r)),
+        );
+    }
+
+    // The acceptance claims, checked on every run: the crash really
+    // interrupted the migration, resume committed it, abort abandoned it,
+    // and resume restored the hit rate strictly faster.
+    let rr = resume.journal.replay(0);
+    assert!(
+        rr.committed && rr.resumes >= 1,
+        "resume run must crash and resume"
+    );
+    let ar = abort.journal.replay(0);
+    assert!(ar.aborted, "abort run must abandon the journal");
+    assert_eq!(resume.final_members, abort.final_members);
+    let (r_restore, a_restore) = (restore(&resume), restore(&abort));
+    let r = r_restore.expect("resumed migration restores the hit rate");
+    assert!(
+        a_restore.is_none_or(|a| r < a),
+        "resume must restore the hit rate strictly faster (resume {}, abort {})",
+        show(r_restore),
+        show(a_restore)
+    );
+
+    println!(
+        "\nInterpretation: both runs lose the Master 200 ms into the same \
+         scale-in migration. The restarted Master that replays its journal \
+         resumes shipping from the last durable ack and commits the scaling \
+         with the victim's hot items relocated, so the hit rate barely \
+         moves. Abort-and-restart abandons the in-flight plan and commits \
+         the scaling cold: every key the victims held refills through \
+         database misses. Time back to the shrunk tier's steady-state hit \
+         rate: {} resumed vs {} aborted.",
+        show(r_restore),
+        show(a_restore),
     );
 }
 
@@ -205,4 +320,6 @@ fn main() {
             .detection_latency()
             .expect("crash time known"),
     );
+
+    resume_vs_abort(smoke);
 }

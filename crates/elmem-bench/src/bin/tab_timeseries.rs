@@ -81,6 +81,7 @@ fn smoke_experiment(policy: MigrationPolicy) -> (ExperimentConfig, Scenario) {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed: 2,
     };
     (cfg, scenario)

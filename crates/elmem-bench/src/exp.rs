@@ -81,6 +81,7 @@ pub fn laptop_experiment(
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed,
     }
 }
@@ -210,6 +211,7 @@ mod tests {
             telemetry: Default::default(),
             probes_sent: 0,
             detector_transitions: 0,
+            journal: Default::default(),
         }
     }
 

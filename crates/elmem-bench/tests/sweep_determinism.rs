@@ -48,6 +48,7 @@ fn cell_config(raw: &RawCell) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed,
     }
 }

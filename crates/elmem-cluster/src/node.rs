@@ -1,8 +1,48 @@
-//! One Memcached node: slab store + NIC link.
+//! One Memcached node: slab store + NIC link + the Agent's migration
+//! import ledger.
+
+use std::collections::BTreeMap;
 
 use elmem_sim::Link;
-use elmem_store::{SlabStore, StoreConfig};
-use elmem_util::{NodeId, SimTime};
+use elmem_store::{ClassId, ImportMode, ItemMeta, SlabStore, StoreConfig};
+use elmem_util::{ElmemError, NodeId, SimTime};
+
+/// The Agent's dedup ledger for journaled migration imports: which
+/// `(migration id, shipment seq)` pairs this node has already applied,
+/// and the content checksum each arrived with.
+///
+/// A crash-recovering Master re-delivers every shipment the journal never
+/// durably acked; the ledger makes `batch_import` idempotent under that
+/// re-delivery — a shipment already applied is suppressed (and its
+/// checksum cross-checked) instead of imported twice. Volatile like the
+/// store itself: a crash or power-off clears it along with the DRAM.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImportLedger {
+    entries: BTreeMap<(u64, u64), u64>,
+    duplicates_suppressed: u64,
+}
+
+impl ImportLedger {
+    /// The applied `(migration id, seq) → checksum` entries, in order.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.entries.iter().map(|(&(id, seq), &sum)| (id, seq, sum))
+    }
+
+    /// How many re-delivered shipments the ledger suppressed.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
+    }
+
+    /// Number of distinct shipments applied.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no shipment was ever applied through the ledger.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// Failure state of a node, as the control plane sees it.
 ///
@@ -37,6 +77,7 @@ pub struct CacheNode {
     store_config: StoreConfig,
     online: bool,
     health: NodeHealth,
+    ledger: ImportLedger,
 }
 
 impl CacheNode {
@@ -54,7 +95,50 @@ impl CacheNode {
             store_config,
             online: true,
             health: NodeHealth::Up,
+            ledger: ImportLedger::default(),
         }
+    }
+
+    /// The Agent's migration import ledger.
+    pub fn import_ledger(&self) -> &ImportLedger {
+        &self.ledger
+    }
+
+    /// Applies a journaled migration shipment idempotently.
+    ///
+    /// Returns `Ok(true)` if the import applied, `Ok(false)` if the
+    /// ledger already held `(migration_id, seq)` and the re-delivery was
+    /// suppressed.
+    ///
+    /// # Errors
+    ///
+    /// [`ElmemError::InvariantViolation`] if a re-delivered shipment
+    /// carries a different checksum than the applied one (the world
+    /// changed between deliveries — never silently re-import); any error
+    /// `batch_import` raises.
+    pub fn import_shipment(
+        &mut self,
+        migration_id: u64,
+        seq: u64,
+        checksum: u64,
+        class: ClassId,
+        items: &[ItemMeta],
+        mode: ImportMode,
+    ) -> Result<bool, ElmemError> {
+        if let Some(&applied) = self.ledger.entries.get(&(migration_id, seq)) {
+            if applied != checksum {
+                return Err(ElmemError::InvariantViolation(format!(
+                    "node {}: re-delivered shipment (migration {migration_id}, seq {seq}) \
+                     checksum {checksum:#018x} != applied {applied:#018x}",
+                    self.id
+                )));
+            }
+            self.ledger.duplicates_suppressed += 1;
+            return Ok(false);
+        }
+        self.store.batch_import(class, items, mode)?;
+        self.ledger.entries.insert((migration_id, seq), checksum);
+        Ok(true)
     }
 
     /// The node's id.
@@ -95,6 +179,7 @@ impl CacheNode {
         }
         self.online = false;
         self.store = SlabStore::new(self.store_config.clone());
+        self.ledger = ImportLedger::default();
     }
 
     /// Crashes the node (fault injection): contents lost, unreachable.
@@ -103,6 +188,7 @@ impl CacheNode {
         self.online = false;
         self.health = NodeHealth::Crashed;
         self.store = SlabStore::new(self.store_config.clone());
+        self.ledger = ImportLedger::default();
     }
 }
 
@@ -173,6 +259,65 @@ mod tests {
         assert!(n.is_reachable(SimTime::from_secs(5)), "partition healed");
         // The store itself is intact: only reachability was lost.
         assert!(n.is_online());
+    }
+
+    #[test]
+    fn import_ledger_suppresses_redelivery_and_rejects_checksum_drift() {
+        let mut n = CacheNode::new(
+            NodeId(5),
+            StoreConfig::with_memory(elmem_util::ByteSize::from_mib(4)),
+            1e9,
+            SimTime::from_micros(10),
+        );
+        let items = vec![ItemMeta {
+            key: KeyId(11),
+            value_size: 100,
+            last_access: SimTime::from_secs(1),
+            expires: SimTime::MAX,
+        }];
+        let class = n.store.classes().class_for(items[0].footprint()).unwrap();
+        assert!(n
+            .import_shipment(7, 0, 0xfeed, class, &items, ImportMode::Merge)
+            .unwrap());
+        let len = n.store.len();
+        // Same (migration, seq): suppressed, store untouched.
+        assert!(!n
+            .import_shipment(7, 0, 0xfeed, class, &items, ImportMode::Merge)
+            .unwrap());
+        assert_eq!(n.store.len(), len);
+        assert_eq!(n.import_ledger().duplicates_suppressed(), 1);
+        assert_eq!(n.import_ledger().len(), 1);
+        // Same identity, different checksum: an invariant violation.
+        assert!(n
+            .import_shipment(7, 0, 0xdead, class, &items, ImportMode::Merge)
+            .is_err());
+        // A different seq applies normally.
+        assert!(n
+            .import_shipment(7, 1, 0xfeed, class, &items, ImportMode::Merge)
+            .unwrap());
+        assert_eq!(n.import_ledger().len(), 2);
+    }
+
+    #[test]
+    fn crash_and_power_off_clear_the_ledger() {
+        let mut n = CacheNode::new(
+            NodeId(6),
+            StoreConfig::with_memory(elmem_util::ByteSize::from_mib(4)),
+            1e9,
+            SimTime::from_micros(10),
+        );
+        let items = vec![ItemMeta {
+            key: KeyId(3),
+            value_size: 64,
+            last_access: SimTime::from_secs(1),
+            expires: SimTime::MAX,
+        }];
+        let class = n.store.classes().class_for(items[0].footprint()).unwrap();
+        n.import_shipment(1, 0, 1, class, &items, ImportMode::Merge)
+            .unwrap();
+        assert!(!n.import_ledger().is_empty());
+        n.crash();
+        assert!(n.import_ledger().is_empty());
     }
 
     #[test]

@@ -25,7 +25,18 @@
 //!    order, globally unique sequence numbers, conserved drop accounting);
 //! 7. migration phases pair up: per phase kind, `starts == ends + aborts`;
 //! 8. with healing enabled, the run converges — no crashed node is left in
-//!    the ring at the end.
+//!    the ring at the end;
+//! 9. the migration journal is coherent: every `Started` job reaches
+//!    exactly one terminal record, resumes only happen before it, and
+//!    shipment acks only after the plan sealed;
+//! 10. every durable ack names a sealed shipment, and no shipment is acked
+//!     twice;
+//! 11. a `Committed` job acked its entire sealed manifest — no shipment
+//!     lost across Master crashes;
+//! 12. surviving import ledgers reference only sealed shipments, with the
+//!     sealed checksums — no duplicate or forged import survived;
+//! 13. duplicate-import suppression only occurs when some migration
+//!     actually resumed (re-delivery is the only legal duplicate source).
 //!
 //! A violation is a `String` naming the invariant and the smallest
 //! offending key/node, so reports are deterministic even where the
@@ -38,6 +49,7 @@ use crate::elasticity::{
     run_experiment_capture, ExperimentConfig, ExperimentResult, ScaleAction, ScalerConfig,
 };
 use crate::healing::HealingConfig;
+use crate::journal::{JournalRecord, MasterPlan};
 use crate::migration::MigrationCosts;
 use crate::policies::MigrationPolicy;
 use elmem_cluster::{Cluster, ClusterConfig};
@@ -115,6 +127,10 @@ pub fn experiment_for_plan(plan: &ChaosPlan) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: plan.faults.clone(),
         healing: plan.healing.then(HealingConfig::warm_replacement),
+        master: MasterPlan {
+            crashes: plan.master_crashes.clone(),
+            ..MasterPlan::default()
+        },
         seed: plan.seed,
     }
 }
@@ -158,6 +174,7 @@ pub fn check_invariants(
             result.telemetry.dropped_events
         ));
     }
+    check_journal(result, cluster, &mut v);
     if plan.healing && result.final_crashed_members > 0 {
         v.push(format!(
             "healing enabled but {} crashed member(s) left in the ring at end of run",
@@ -230,6 +247,9 @@ fn check_no_stale_serves(result: &ExperimentResult, cluster: &Cluster, v: &mut V
                     | EventKind::NodeSuspected
                     | EventKind::NodeConfirmedDead
                     | EventKind::RecoveryCompleted { .. }
+                    | EventKind::MasterCrashed
+                    | EventKind::MigrationResumed { .. }
+                    | EventKind::ScalingDeferred { .. }
             )
         })
         .map(|e| e.at)
@@ -419,10 +439,139 @@ fn check_migration_pairing(result: &ExperimentResult, v: &mut Vec<String>) {
     }
 }
 
+/// Invariants 9–13: the migration journal tells a coherent, loss-free
+/// story (DESIGN.md §13). Every `Started` job reaches exactly one terminal
+/// record with resumes strictly before it; acks are post-seal, sealed,
+/// and unique; a committed job lost no shipment; the surviving Agents'
+/// import ledgers carry only sealed shipments with sealed checksums; and
+/// duplicate suppression implies a resume happened.
+fn check_journal(result: &ExperimentResult, cluster: &Cluster, v: &mut Vec<String>) {
+    use std::collections::{BTreeMap, BTreeSet};
+    let entries = result.journal.entries();
+
+    let mut ids: Vec<u64> = entries.iter().map(|e| e.record.id()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    for id in &ids {
+        let id = *id;
+        let st = result.journal.replay(id);
+        if st.kind.is_none() {
+            v.push(format!("journal job {id}: records without a started"));
+            continue;
+        }
+        let terminals = entries
+            .iter()
+            .filter(|e| {
+                e.record.id() == id
+                    && matches!(
+                        e.record,
+                        JournalRecord::Committed { .. } | JournalRecord::Aborted { .. }
+                    )
+            })
+            .count();
+        if terminals != 1 {
+            v.push(format!(
+                "journal job {id}: {terminals} terminal record(s), want exactly 1"
+            ));
+        }
+        let mut sealed = false;
+        let mut terminal_seen = false;
+        let mut acked_seqs: BTreeSet<u64> = BTreeSet::new();
+        for e in entries.iter().filter(|e| e.record.id() == id) {
+            match &e.record {
+                JournalRecord::PlanSealed { .. } => sealed = true,
+                JournalRecord::ShipmentAcked { seq, .. } => {
+                    if !sealed {
+                        v.push(format!(
+                            "journal job {id}: shipment {seq} acked before the plan sealed"
+                        ));
+                    }
+                    if !acked_seqs.insert(*seq) {
+                        v.push(format!("journal job {id}: shipment {seq} acked twice"));
+                    }
+                }
+                JournalRecord::Resumed { .. } if terminal_seen => {
+                    v.push(format!(
+                        "journal job {id}: resumed after its terminal record"
+                    ));
+                }
+                JournalRecord::Committed { .. } | JournalRecord::Aborted { .. } => {
+                    terminal_seen = true;
+                }
+                _ => {}
+            }
+        }
+        match &st.manifest {
+            Some(manifest) => {
+                let sealed_seqs: BTreeSet<u64> = manifest.iter().map(|m| m.seq).collect();
+                for seq in &st.acked {
+                    if !sealed_seqs.contains(seq) {
+                        v.push(format!(
+                            "journal job {id}: acked shipment {seq} absent from the sealed manifest"
+                        ));
+                    }
+                }
+                if st.committed && st.acked != sealed_seqs {
+                    v.push(format!(
+                        "journal job {id}: committed with {} of {} sealed shipment(s) acked",
+                        st.acked.len(),
+                        sealed_seqs.len()
+                    ));
+                }
+            }
+            None if !st.acked.is_empty() => {
+                v.push(format!(
+                    "journal job {id}: {} ack(s) without a sealed manifest",
+                    st.acked.len()
+                ));
+            }
+            None => {}
+        }
+    }
+
+    let mut sealed: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for e in entries {
+        if let JournalRecord::PlanSealed { id, manifest, .. } = &e.record {
+            for m in manifest {
+                sealed.insert((*id, m.seq), m.checksum);
+            }
+        }
+    }
+    let any_resume = entries
+        .iter()
+        .any(|e| matches!(e.record, JournalRecord::Resumed { .. }));
+    let mut nodes: Vec<&elmem_cluster::CacheNode> = cluster.tier.iter_nodes().collect();
+    nodes.sort_by_key(|n| n.id());
+    let mut suppressed = 0u64;
+    for node in nodes {
+        suppressed += node.import_ledger().duplicates_suppressed();
+        for (mid, seq, sum) in node.import_ledger().entries() {
+            match sealed.get(&(mid, seq)) {
+                None => v.push(format!(
+                    "node {}: ledger holds shipment (migration {mid}, seq {seq}) \
+                     the journal never sealed",
+                    node.id().0
+                )),
+                Some(&expected) if expected != sum => v.push(format!(
+                    "node {}: ledger checksum {sum:#018x} != sealed {expected:#018x} \
+                     for (migration {mid}, seq {seq})",
+                    node.id().0
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    if suppressed > 0 && !any_resume {
+        v.push(format!(
+            "{suppressed} duplicate import(s) suppressed but no migration ever resumed"
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elmem_sim::chaos::ChaosLimits;
+    use elmem_sim::chaos::{ChaosLimits, ScheduledChaosAction};
 
     #[test]
     fn quiet_plan_passes_all_invariants() {
@@ -436,10 +585,41 @@ mod tests {
             autoscaler: false,
             faults: elmem_sim::FaultPlan::new(),
             actions: Vec::new(),
+            master_crashes: Vec::new(),
         };
         let report = run_chaos(&plan);
         assert!(report.passed(), "violations: {:?}", report.violations);
         assert!(report.result.total_requests > 0);
+    }
+
+    #[test]
+    fn master_crash_during_scripted_scaling_resumes_clean() {
+        let scale_at = SimTime::from_secs(20);
+        let plan = ChaosPlan {
+            seed: 19,
+            nodes: 4,
+            keys: 6_000,
+            duration_secs: 60,
+            healing: false,
+            autoscaler: false,
+            faults: elmem_sim::FaultPlan::new(),
+            actions: vec![ScheduledChaosAction {
+                at: scale_at,
+                action: ChaosAction::ScaleIn { count: 1 },
+            }],
+            master_crashes: vec![scale_at + SimTime::from_millis(200)],
+        };
+        let report = run_chaos(&plan);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(
+            report
+                .result
+                .journal
+                .entries()
+                .iter()
+                .any(|e| e.record.label() == "resumed"),
+            "the crash should interrupt the migration and the journal should resume it"
+        );
     }
 
     #[test]
@@ -474,6 +654,7 @@ mod tests {
             autoscaler: false,
             faults: elmem_sim::FaultPlan::new(),
             actions: Vec::new(),
+            master_crashes: Vec::new(),
         };
         let config = experiment_for_plan(&plan);
         let keyspace = config.workload.keyspace.clone();

@@ -19,7 +19,8 @@ use crate::autoscaler::{AutoScaler, AutoScalerConfig, ScalingHint};
 use crate::healing::{
     ConfirmedDeath, FailureDetector, HealingConfig, NodeState, ProbeOutcome, RecoveryEvent,
 };
-use crate::master::{DeferredKind, Master};
+use crate::journal::{MasterPlan, MigrationJournal};
+use crate::master::{Admission, DeferredKind, JobKind, Master};
 use crate::migration::{MigrationCosts, MigrationReport, Supervision};
 use crate::policies::MigrationPolicy;
 use crate::predictive::{PredictiveAutoScaler, PredictiveConfig};
@@ -86,6 +87,10 @@ pub struct ExperimentConfig {
     /// `None` leaves crashed nodes in the ring (every lookup against them
     /// pays the client timeout until the breaker opens).
     pub healing: Option<HealingConfig>,
+    /// Scheduled Master crashes plus the restart/recovery policy applied
+    /// to journaled scalings (DESIGN.md §13). [`MasterPlan::default`]
+    /// never crashes.
+    pub master: MasterPlan,
     /// Master seed.
     pub seed: u64,
 }
@@ -122,6 +127,10 @@ pub struct ExperimentResult {
     /// counter time series, per-node rows. Byte-identical (via
     /// [`TelemetryDump::to_json`]) across same-seed runs.
     pub telemetry: TelemetryDump,
+    /// The Master's migration journal at the end of the run: every durable
+    /// record the journaled scalings wrote, in append order. Empty when no
+    /// scaling migrated under the journal.
+    pub journal: MigrationJournal,
 }
 
 impl ExperimentResult {
@@ -192,12 +201,15 @@ impl ScalerInstance {
     }
 }
 
-/// An event on the driver's control queue: a deferred Master action, or a
-/// heartbeat round of the failure detector.
+/// An event on the driver's control queue: a deferred Master action, a
+/// heartbeat round of the failure detector, or a scaling the admission
+/// check deferred behind a conflicting in-flight job (retried when that
+/// job's commit window closes).
 #[derive(Debug, Clone)]
 enum ControlEvent {
     Deferred(DeferredKind),
     Heartbeat,
+    RetryScaling(ScaleAction),
 }
 
 /// Runs any recovery owed for confirmed deaths, unless the Master is mid
@@ -403,19 +415,40 @@ pub fn run_experiment_capture(
                     }
                 }
                 _ => {
-                    let (at, ev) = control.pop().expect("peeked");
+                    // The peek above guarantees an event is due; an empty
+                    // queue here just ends the control drain (no panic on
+                    // a driver-invariant slip).
+                    let Some((at, ev)) = control.pop() else { break };
                     match ev {
                         ControlEvent::Deferred(kind) => {
                             apply_deferred(&mut cluster, &kind, at);
                         }
+                        ControlEvent::RetryScaling(action) => {
+                            trigger(
+                                &mut cluster,
+                                &mut master,
+                                &config.master,
+                                action,
+                                at,
+                                &mut control,
+                                &mut events,
+                                &mut injector,
+                                &mut bytes_migrated,
+                            );
+                        }
                         ControlEvent::Heartbeat => {
-                            let det = detector.as_mut().expect("heartbeats imply a detector");
+                            // Heartbeats are only ever scheduled alongside a
+                            // detector + healing config; a stray one is
+                            // dropped rather than unwrapped into a panic.
+                            let (Some(det), Some(healing)) =
+                                (detector.as_mut(), config.healing.as_ref())
+                            else {
+                                continue;
+                            };
                             let (confirmed, observed) = det.probe_round_observed(&cluster, at);
                             pending_dead.extend(confirmed);
                             record_probe_observations(&mut cluster, at, &observed);
                             control.schedule(det.next_round_after(at), ControlEvent::Heartbeat);
-                            let healing =
-                                config.healing.as_ref().expect("detector implies healing");
                             try_recover(
                                 &mut cluster,
                                 &mut master,
@@ -440,6 +473,7 @@ pub fn run_experiment_capture(
             trigger(
                 &mut cluster,
                 &mut master,
+                &config.master,
                 action,
                 at.max(now),
                 &mut control,
@@ -472,6 +506,7 @@ pub fn run_experiment_capture(
                     trigger(
                         &mut cluster,
                         &mut master,
+                        &config.master,
                         action,
                         now,
                         &mut control,
@@ -526,13 +561,26 @@ pub fn run_experiment_capture(
         }
         match ev {
             ControlEvent::Deferred(kind) => apply_deferred(&mut cluster, &kind, at),
+            ControlEvent::RetryScaling(action) => trigger(
+                &mut cluster,
+                &mut master,
+                &config.master,
+                action,
+                at,
+                &mut control,
+                &mut events,
+                &mut injector,
+                &mut bytes_migrated,
+            ),
             ControlEvent::Heartbeat if at <= settle_until => {
-                let det = detector.as_mut().expect("heartbeats imply a detector");
+                let (Some(det), Some(healing)) = (detector.as_mut(), config.healing.as_ref())
+                else {
+                    continue;
+                };
                 let (confirmed, observed) = det.probe_round_observed(&cluster, at);
                 pending_dead.extend(confirmed);
                 record_probe_observations(&mut cluster, at, &observed);
                 control.schedule(det.next_round_after(at), ControlEvent::Heartbeat);
-                let healing = config.healing.as_ref().expect("detector implies healing");
                 try_recover(
                     &mut cluster,
                     &mut master,
@@ -603,6 +651,7 @@ pub fn run_experiment_capture(
         probes_sent: detector.as_ref().map_or(0, |d| d.probes_sent()),
         detector_transitions: detector.as_ref().map_or(0, |d| d.transitions()),
         telemetry,
+        journal: master.journal().clone(),
     };
     (result, cluster)
 }
@@ -669,6 +718,7 @@ fn apply_fault(cluster: &mut Cluster, action: &FaultAction, at: SimTime) {
 fn trigger(
     cluster: &mut Cluster,
     master: &mut Master,
+    master_plan: &MasterPlan,
     action: ScaleAction,
     now: SimTime,
     control: &mut EventQueue<ControlEvent>,
@@ -676,8 +726,24 @@ fn trigger(
     injector: &mut FaultInjector,
     bytes_migrated: &mut u64,
 ) {
+    // Per-job admission (DESIGN.md §13): a fill may overlap a drain, but a
+    // job conflicting with one still in flight is deferred — re-enqueued
+    // for when the conflicting commit window closes — not dropped.
+    let kind = match action {
+        ScaleAction::In { .. } => JobKind::ScaleIn,
+        ScaleAction::Out { .. } => JobKind::ScaleOut,
+    };
+    if let Admission::Deferred { until, .. } = master.admit(kind, now) {
+        cluster
+            .telemetry_mut()
+            .trace
+            .record(now, None, EventKind::ScalingDeferred { until });
+        control.schedule(until, ControlEvent::RetryScaling(action));
+        return;
+    }
     let members = cluster.tier.membership().len() as u32;
     let mut supervision = Supervision::with_faults(injector);
+    supervision.master = master_plan.clone();
     let orch = match action {
         ScaleAction::In { count } => {
             let count = count.min(members.saturating_sub(1));
@@ -778,6 +844,7 @@ mod tests {
             costs: MigrationCosts::default(),
             faults: FaultPlan::new(),
             healing: None,
+            master: MasterPlan::default(),
             seed: 7,
         }
     }
@@ -851,6 +918,63 @@ mod tests {
         let result = run_experiment(cfg);
         assert_eq!(result.final_members, 6);
         assert!(result.events[0].report.is_some());
+    }
+
+    #[test]
+    fn fill_overlaps_in_flight_drain() {
+        let mut cfg = base_config(MigrationPolicy::elmem());
+        cfg.scheduled = vec![
+            (SimTime::from_secs(30), ScaleAction::In { count: 1 }),
+            (SimTime::from_secs(30), ScaleAction::Out { count: 1 }),
+        ];
+        let result = run_experiment(cfg);
+        // Both admitted at the same instant: a fill does not conflict with
+        // a drain, so the scale-out starts while the scale-in's commit
+        // window is still open.
+        assert_eq!(result.events.len(), 2);
+        assert_eq!(result.events[0].decided_at, result.events[1].decided_at);
+        assert!(!result.telemetry.to_json().contains("scaling_deferred"));
+        assert_eq!(result.final_members, 4);
+    }
+
+    #[test]
+    fn conflicting_drains_defer_then_retry() {
+        let mut cfg = base_config(MigrationPolicy::elmem());
+        cfg.scheduled = vec![
+            (SimTime::from_secs(30), ScaleAction::In { count: 1 }),
+            (SimTime::from_secs(30), ScaleAction::In { count: 1 }),
+        ];
+        let result = run_experiment(cfg);
+        // The second drain conflicts with the first; it is deferred to the
+        // first's commit and retried there, not dropped.
+        assert_eq!(result.events.len(), 2);
+        assert!(
+            result.events[1].decided_at >= result.events[0].committed_at,
+            "deferred drain must wait out the first's commit window"
+        );
+        assert!(result.telemetry.to_json().contains("scaling_deferred"));
+        assert_eq!(result.final_members, 2);
+    }
+
+    #[test]
+    fn master_crash_mid_migration_resumes_and_journals() {
+        let mut cfg = base_config(MigrationPolicy::elmem());
+        cfg.master.crashes = vec![SimTime::from_secs(30) + SimTime::from_millis(200)];
+        let result = run_experiment(cfg);
+        assert_eq!(result.events.len(), 1);
+        let report = result.events[0].report.as_ref().expect("elmem migrates");
+        assert_eq!(report.resumes.len(), 1, "the crash interrupted the run");
+        assert!(report.items_migrated > 0);
+        assert_eq!(result.final_members, 3);
+        let labels: Vec<&str> = result
+            .journal
+            .entries()
+            .iter()
+            .map(|e| e.record.label())
+            .collect();
+        assert!(labels.contains(&"resumed"));
+        assert_eq!(labels.last(), Some(&"committed"));
+        assert!(result.telemetry.to_json().contains("migration_resumed"));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod chaos;
 pub mod elasticity;
 pub mod fusecache;
 pub mod healing;
+pub mod journal;
 pub mod master;
 pub mod migration;
 pub mod policies;
@@ -59,12 +60,16 @@ pub use healing::{
     ConfirmedDeath, DetectorConfig, FailureDetector, HealingConfig, NodeState, ProbeObservation,
     ProbeOutcome, RecoveryEvent, ReplacementPolicy,
 };
-pub use master::{DeferredAction, DeferredKind, Master, Orchestration};
+pub use journal::{
+    JournalRecord, MasterPlan, MasterRecovery, MigrationJournal, MigrationKind, ReplayState,
+    ShipmentManifest, ACK_DURABILITY_LAG,
+};
+pub use master::{Admission, DeferredAction, DeferredKind, JobKind, Master, Orchestration};
 pub use migration::{
-    migrate_scale_in, migrate_scale_in_supervised, migrate_scale_out, plan_scale_in_shipments,
-    set_planning_jobs, AbortCause, MigrationCosts, MigrationOutcome, MigrationPhase,
-    MigrationReport, PhaseBreakdown, PhaseDeadlines, PlanStats, RetryPolicy, Shipment, Supervision,
-    MIGRATION_JOBS_ENV,
+    migrate_scale_in, migrate_scale_in_journaled, migrate_scale_in_supervised, migrate_scale_out,
+    migrate_scale_out_journaled, plan_scale_in_shipments, set_planning_jobs, AbortCause,
+    MigrationCosts, MigrationOutcome, MigrationPhase, MigrationReport, PhaseBreakdown,
+    PhaseDeadlines, PlanStats, ResumePoint, RetryPolicy, Shipment, Supervision, MIGRATION_JOBS_ENV,
 };
 pub use predictive::{PredictiveAutoScaler, PredictiveConfig};
 pub use telemetry::{

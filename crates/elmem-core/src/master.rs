@@ -13,9 +13,10 @@ use elmem_cluster::Cluster;
 use elmem_util::{DetRng, ElmemError, NodeId, SimTime};
 
 use crate::healing::{HealingConfig, ReplacementPolicy};
+use crate::journal::MigrationJournal;
 use crate::migration::{
-    migrate_naive_scale_in, migrate_scale_in_supervised, migrate_scale_out, MigrationCosts,
-    MigrationOutcome, MigrationReport, Supervision,
+    migrate_naive_scale_in, migrate_scale_in_journaled, migrate_scale_out,
+    migrate_scale_out_journaled, MigrationCosts, MigrationOutcome, MigrationReport, Supervision,
 };
 use crate::policies::MigrationPolicy;
 use crate::scoring::choose_retiring;
@@ -43,6 +44,62 @@ pub enum DeferredKind {
     /// them crashed and drop them from the ring. No power-off — they are
     /// already gone.
     EvictCrashed(Vec<NodeId>),
+}
+
+/// The direction of a migration job, for conflict detection: two drains
+/// contend for the same survivor capacity (as do two fills for the same
+/// donor dumps), but a drain and a fill touch disjoint ownership — the
+/// drain moves data *onto* the retained ring, the fill *off* it onto
+/// nodes that are not yet members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// A scale-in drain (retiring nodes push onto survivors).
+    ScaleIn,
+    /// A scale-out fill (members push onto not-yet-member nodes).
+    ScaleOut,
+    /// A healing warm-replacement fill (scale-out shaped).
+    Recovery,
+}
+
+impl JobKind {
+    /// Whether two jobs contend for the same ownership ranges.
+    fn conflicts_with(self, other: JobKind) -> bool {
+        self.is_drain() == other.is_drain()
+    }
+
+    fn is_drain(self) -> bool {
+        matches!(self, JobKind::ScaleIn)
+    }
+}
+
+/// One in-flight migration's state, tracked per job rather than as a
+/// single global busy flag so non-conflicting operations can overlap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationJob {
+    /// The journal's job id.
+    pub id: u64,
+    /// Which direction the job moves data.
+    pub kind: JobKind,
+    /// The nodes being retired or added.
+    pub nodes: Vec<NodeId>,
+    /// When the job was admitted.
+    pub started: SimTime,
+    /// When its last deferred commit lands (the job is done after this).
+    pub window_end: SimTime,
+}
+
+/// The Master's answer to "may this scaling start at `now`?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// No in-flight job conflicts; start immediately.
+    Granted,
+    /// A conflicting job is draining; retry at `until`.
+    Deferred {
+        /// Earliest instant the conflict is gone (strictly after now).
+        until: SimTime,
+        /// Human-readable conflict class, for the trace.
+        reason: &'static str,
+    },
 }
 
 /// What one orchestration call did.
@@ -94,8 +151,16 @@ pub struct Master {
     costs: MigrationCosts,
     /// Victim selection randomness for the Naive comparator.
     rng: DetRng,
-    /// The Master is busy until this instant (one scaling at a time).
+    /// The Master is busy until this instant (conservative global gate;
+    /// [`Master::admit`] offers the finer per-job answer).
     busy_until: SimTime,
+    /// The simulated durable WAL every journaled migration writes to
+    /// (DESIGN.md §13).
+    journal: MigrationJournal,
+    /// In-flight (or not-yet-pruned) migration jobs.
+    jobs: Vec<MigrationJob>,
+    /// Next journal job id.
+    next_job_id: u64,
 }
 
 impl Master {
@@ -108,6 +173,9 @@ impl Master {
             costs,
             rng: DetRng::seed(seed).split("naive-victims"),
             busy_until: SimTime::ZERO,
+            journal: MigrationJournal::new(),
+            jobs: Vec::new(),
+            next_job_id: 0,
         }
     }
 
@@ -124,6 +192,68 @@ impl Master {
     /// Whether the Master can accept a new scaling decision at `now`.
     pub fn is_idle(&self, now: SimTime) -> bool {
         now >= self.busy_until
+    }
+
+    /// The migration journal (every journaled scaling's durable records).
+    pub fn journal(&self) -> &MigrationJournal {
+        &self.journal
+    }
+
+    /// The in-flight migration jobs whose commit windows reach past `now`.
+    pub fn jobs_in_flight(&self, now: SimTime) -> impl Iterator<Item = &MigrationJob> {
+        self.jobs.iter().filter(move |j| j.window_end > now)
+    }
+
+    /// Answers whether a `kind` scaling may start at `now`, per the
+    /// overlap rules (DESIGN.md §13): a drain may overlap a fill (they
+    /// move disjoint ownership ranges), but two drains — or two fills —
+    /// contend and the later one is deferred until the earlier's commit
+    /// window closes. Advisory: the driver asks before triggering; the
+    /// scale paths themselves stay callable directly (tests, benches).
+    pub fn admit(&mut self, kind: JobKind, now: SimTime) -> Admission {
+        self.jobs.retain(|j| j.window_end > now);
+        let until = self
+            .jobs
+            .iter()
+            .filter(|j| j.kind.conflicts_with(kind))
+            .map(|j| j.window_end)
+            .max();
+        match until {
+            Some(until) => Admission::Deferred {
+                until,
+                reason: if kind.is_drain() {
+                    "concurrent drain in flight"
+                } else {
+                    "concurrent fill in flight"
+                },
+            },
+            None => Admission::Granted,
+        }
+    }
+
+    /// Allocates the next journal job id.
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        id
+    }
+
+    /// Records a finished orchestration as a tracked job.
+    fn track_job(
+        &mut self,
+        id: u64,
+        kind: JobKind,
+        nodes: &[NodeId],
+        started: SimTime,
+        window_end: SimTime,
+    ) {
+        self.jobs.push(MigrationJob {
+            id,
+            kind,
+            nodes: nodes.to_vec(),
+            started,
+            window_end,
+        });
     }
 
     /// Orchestrates a scale-in of `count` nodes at `now`.
@@ -182,15 +312,19 @@ impl Master {
             }
             MigrationPolicy::ElMem { import } => {
                 let (victims, _) = choose_retiring(&cluster.tier, count as usize)?;
-                let report = migrate_scale_in_supervised(
+                let id = self.next_id();
+                let report = migrate_scale_in_journaled(
                     &mut cluster.tier,
                     &victims,
                     now,
                     &self.costs,
                     import,
                     supervision,
+                    &mut self.journal,
+                    id,
                 )?;
                 let committed_at = report.completed;
+                self.track_job(id, JobKind::ScaleIn, &victims, now, committed_at);
                 let mut deferred = Vec::new();
                 match report.outcome {
                     MigrationOutcome::Completed => deferred.push(DeferredAction {
@@ -318,8 +452,19 @@ impl Master {
         let ids = cluster.tier.provision_nodes(count as usize);
         let orch = match self.policy {
             MigrationPolicy::ElMem { .. } => {
-                let report = migrate_scale_out(&mut cluster.tier, &ids, now, &self.costs)?;
+                let id = self.next_id();
+                let master_plan = supervision.master.clone();
+                let report = migrate_scale_out_journaled(
+                    &mut cluster.tier,
+                    &ids,
+                    now,
+                    &self.costs,
+                    &master_plan,
+                    &mut self.journal,
+                    id,
+                )?;
                 let committed_at = report.completed;
+                self.track_job(id, JobKind::ScaleOut, &ids, now, committed_at);
                 let (dead, alive): (Vec<NodeId>, Vec<NodeId>) = ids
                     .iter()
                     .copied()
@@ -421,8 +566,14 @@ impl Master {
         }
         let ids = cluster.tier.provision_nodes(dead.len());
         let orch = if healing.warmup {
+            // Healing keeps the unjournaled path: a warm replacement is
+            // already the recovery action for a failure, and stacking a
+            // Master-crash resume inside it buys nothing — a crashed-out
+            // warmup just re-runs (DESIGN.md §13).
             let report = migrate_scale_out(&mut cluster.tier, &ids, now, &self.costs)?;
             let committed_at = report.completed;
+            let recovery_id = self.next_id();
+            self.track_job(recovery_id, JobKind::Recovery, &ids, now, committed_at);
             let (crashed, alive): (Vec<NodeId>, Vec<NodeId>) = ids
                 .iter()
                 .copied()
@@ -762,6 +913,74 @@ mod tests {
         assert_eq!(orch.committed_at, now);
         assert_eq!(c.tier.membership().len(), 4);
         assert!(c.tier.node(orch.nodes[0]).unwrap().store.is_empty(), "cold");
+    }
+
+    #[test]
+    fn admission_allows_a_fill_to_overlap_a_drain() {
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        let orch = m.scale_in(&mut c, 1, now).unwrap();
+        let mid = now + SimTime::from_millis(1);
+        assert!(mid < orch.committed_at, "the drain is still in flight");
+        // A second drain conflicts and is deferred to the commit window's
+        // end; a fill moves disjoint ownership and is granted.
+        assert_eq!(
+            m.admit(JobKind::ScaleIn, mid),
+            Admission::Deferred {
+                until: orch.committed_at,
+                reason: "concurrent drain in flight",
+            }
+        );
+        assert_eq!(m.admit(JobKind::ScaleOut, mid), Admission::Granted);
+        // Once the window closes the job is pruned and drains flow again.
+        assert_eq!(
+            m.admit(JobKind::ScaleIn, orch.committed_at),
+            Admission::Granted
+        );
+    }
+
+    #[test]
+    fn admission_defers_conflicting_fills() {
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        let orch = m.scale_out(&mut c, 1, now).unwrap();
+        let mid = now + SimTime::from_millis(1);
+        assert!(mid < orch.committed_at);
+        assert!(matches!(
+            m.admit(JobKind::ScaleOut, mid),
+            Admission::Deferred { .. }
+        ));
+        // Recovery's warm replacement is fill-shaped: it conflicts too.
+        assert!(matches!(
+            m.admit(JobKind::Recovery, mid),
+            Admission::Deferred { .. }
+        ));
+        assert_eq!(m.admit(JobKind::ScaleIn, mid), Admission::Granted);
+    }
+
+    #[test]
+    fn journaled_scalings_commit_into_the_journal() {
+        let mut c = warmed_cluster();
+        let mut m = Master::new(MigrationPolicy::elmem(), MigrationCosts::default(), 1);
+        let now = SimTime::from_secs(10_000);
+        m.scale_in(&mut c, 1, now).unwrap();
+        let later = m.busy_until() + SimTime::from_secs(1);
+        m.scale_out(&mut c, 1, later).unwrap();
+        // Two jobs, two terminal Committed records, distinct ids.
+        let committed: Vec<u64> = m
+            .journal()
+            .entries()
+            .iter()
+            .filter_map(|e| match e.record {
+                crate::journal::JournalRecord::Committed { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(committed, vec![0, 1]);
+        assert!(m.journal().replay(0).committed);
+        assert!(m.journal().replay(1).committed);
     }
 
     #[test]

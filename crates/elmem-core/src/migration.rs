@@ -13,7 +13,7 @@
 //! new nodes (≈ `1/(k+1)` of its keys); FuseCache is only needed if the
 //! shipped set exceeds the new node's capacity.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use elmem_cluster::{CacheNode, CacheTier};
@@ -25,6 +25,10 @@ use elmem_util::{ByteSize, ElmemError, NodeId, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::fusecache::fusecache_instrumented;
+use crate::journal::{
+    JournalRecord, MasterPlan, MasterRecovery, MigrationJournal, MigrationKind, ReplayState,
+    ShipmentManifest, ACK_DURABILITY_LAG,
+};
 
 /// Per-(target, class) inbound metadata lists, keyed by source node.
 type InboundMap = HashMap<(NodeId, ClassId), Vec<(NodeId, Vec<ItemMeta>)>>;
@@ -124,6 +128,24 @@ pub struct MigrationReport {
     /// Database sheds during the post-commit refill storm do **not**
     /// count here — see `elmem_cluster::DbFetch::Shed`.
     pub transfer_retries: u32,
+    /// Master crash/resume cycles the migration survived, in order
+    /// (empty without Master faults). When non-empty, `completed` is
+    /// **not** `started + phases.total()`: `phases` describes the final
+    /// attempt only and the timeline includes restart downtime.
+    pub resumes: Vec<ResumePoint>,
+}
+
+/// One Master crash the migration survived: when the Master died, when its
+/// replacement took over, and the phase the crash interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResumePoint {
+    /// When the Master crashed.
+    pub crashed_at: SimTime,
+    /// When the restarted Master finished replaying the journal and
+    /// resumed the migration.
+    pub resumed_at: SimTime,
+    /// The phase the crash landed in.
+    pub phase: MigrationPhase,
 }
 
 /// The three migration phases of §III-D, as the supervisor attributes
@@ -155,6 +177,10 @@ pub enum AbortCause {
         /// Attempts beyond the first that were made.
         attempts: u32,
     },
+    /// The Master crashed mid-migration and its restart policy was
+    /// [`MasterRecovery::Abort`] — the journal was abandoned instead of
+    /// replayed.
+    MasterCrashed,
 }
 
 impl AbortCause {
@@ -270,6 +296,9 @@ pub struct Supervision<'a> {
     pub retry: RetryPolicy,
     /// The experiment's fault injector, when faults are being injected.
     pub faults: Option<&'a mut FaultInjector>,
+    /// Scheduled Master crashes and the restart/recovery policy. Only the
+    /// journaled entry points consult it; the default plan never crashes.
+    pub master: MasterPlan,
 }
 
 impl Supervision<'static> {
@@ -279,6 +308,7 @@ impl Supervision<'static> {
             deadlines: PhaseDeadlines::none(),
             retry: RetryPolicy::default(),
             faults: None,
+            master: MasterPlan::default(),
         }
     }
 }
@@ -290,6 +320,7 @@ impl<'a> Supervision<'a> {
             deadlines: PhaseDeadlines::none(),
             retry: RetryPolicy::default(),
             faults: Some(injector),
+            master: MasterPlan::default(),
         }
     }
 
@@ -368,6 +399,10 @@ const PAR_MIN_ITEMS: u64 = 32_768;
 /// into the dump rather than cloned sub-vectors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Shipment {
+    /// Monotone sequence number within the migration's sealed plan — the
+    /// identity the journal acks and the destination's import ledger
+    /// dedups on.
+    pub seq: u64,
     /// The retiring node shipping the items.
     pub source: NodeId,
     /// The retained node importing them.
@@ -381,6 +416,41 @@ pub struct Shipment {
 }
 
 impl Shipment {
+    /// Seals a whole item list as one shipment (`take` = everything) —
+    /// the scale-out path, where no FuseCache prefix is chosen.
+    pub(crate) fn sealed(
+        seq: u64,
+        source: NodeId,
+        target: NodeId,
+        class: ClassId,
+        items: Vec<ItemMeta>,
+    ) -> Self {
+        let take = items.len();
+        let checksum = shipment_checksum(&items);
+        Shipment {
+            seq,
+            source,
+            target,
+            class,
+            items,
+            take,
+            checksum,
+        }
+    }
+
+    /// The journal's durable description of this shipment: enough to
+    /// reconstruct and verify it from a fresh source dump on resume.
+    pub fn manifest(&self) -> ShipmentManifest {
+        ShipmentManifest {
+            seq: self.seq,
+            source: self.source,
+            target: self.target,
+            class: self.class,
+            take: self.take,
+            checksum: self.checksum,
+        }
+    }
+
     /// The chosen items (hottest-first prefix of the routed list).
     pub fn items(&self) -> &[ItemMeta] {
         &self.items[..self.take]
@@ -548,12 +618,19 @@ fn build_shipments(
 ) -> Result<CellOutcome, ElmemError> {
     let cells: Vec<PlanCell> = dest_keys
         .iter()
-        .map(|&(target, class)| PlanCell {
-            target,
-            class,
-            sources: inbound.remove(&(target, class)).expect("key exists"),
+        .map(|&(target, class)| {
+            let sources = inbound.remove(&(target, class)).ok_or_else(|| {
+                ElmemError::InconsistentMigration(format!(
+                    "no inbound lists for destination cell ({target}, {class})"
+                ))
+            })?;
+            Ok(PlanCell {
+                target,
+                class,
+                sources,
+            })
         })
-        .collect();
+        .collect::<Result<_, ElmemError>>()?;
     let picks = par_map_indexed(jobs, &cells, |_, cell| fuse_cell(tier, cell));
     let mut outcome = CellOutcome {
         plan: Vec::new(),
@@ -568,10 +645,20 @@ fn build_shipments(
         outcome.comparisons += comparisons;
         // picks[0] is the destination's own list; picks[1..] map to sources.
         for (si, (source, items)) in cell.sources.into_iter().enumerate() {
-            let take = picks[si + 1].min(items.len());
+            let pick = picks.get(si + 1).copied().ok_or_else(|| {
+                ElmemError::InconsistentMigration(format!(
+                    "FuseCache returned {} picks for {} source lists on ({}, {})",
+                    picks.len(),
+                    si + 1,
+                    cell.target,
+                    cell.class
+                ))
+            })?;
+            let take = pick.min(items.len());
             if take > 0 {
                 let checksum = shipment_checksum(&items[..take]);
                 outcome.plan.push(Shipment {
+                    seq: outcome.plan.len() as u64,
                     source,
                     target: cell.target,
                     class: cell.class,
@@ -689,8 +776,8 @@ fn live_node_mut(tier: &mut CacheTier, id: NodeId) -> Result<&mut CacheNode, Elm
         .map_err(|_| ElmemError::NodeUnavailable(id.0))
 }
 
-/// Builds the report for an aborted migration: `completed` is the abort
-/// instant (never before `started`).
+/// Builds the terminal outcome for an aborted migration attempt:
+/// `completed` is the abort instant (never before `started`).
 #[allow(clippy::too_many_arguments)]
 fn aborted(
     started: SimTime,
@@ -703,8 +790,8 @@ fn aborted(
     metadata_bytes: ByteSize,
     items_considered: u64,
     transfer_retries: u32,
-) -> MigrationReport {
-    MigrationReport {
+) -> ExecOutcome {
+    ExecOutcome::Done(MigrationReport {
         started,
         completed: at.max(started),
         phases,
@@ -714,7 +801,74 @@ fn aborted(
         items_considered,
         outcome: MigrationOutcome::Aborted { phase, cause },
         transfer_retries,
+        resumes: Vec::new(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recoverable execution (DESIGN.md §13)
+//
+// The executors below run one *attempt* of a migration. Under an [`ExecCtl`]
+// with a scheduled Master crash they stop at the first boundary the crash
+// precedes and return [`ExecOutcome::Interrupted`]; the journaled runner
+// ([`run_journaled`]) then truncates the journal to what was durable at the
+// crash instant, replays it, and launches the next attempt — resuming from
+// the sealed manifest when the crash landed after phase 2, or replanning
+// from scratch when it landed earlier (phases 1–2 never mutate any store,
+// so a pre-seal replan reproduces the identical plan from the unmutated
+// sources).
+// ---------------------------------------------------------------------------
+
+/// Per-attempt execution control for the journaled runner: the next
+/// scheduled Master crash, the journal to append durable records to, and
+/// the replayed state when this attempt is a resume.
+struct ExecCtl<'j> {
+    /// Next Master crash strictly after the attempt's start, if any.
+    master_crash: Option<SimTime>,
+    /// The journal and this migration's job id, when journaling.
+    journal: Option<(&'j mut MigrationJournal, u64)>,
+    /// Replayed journal state when resuming an interrupted migration.
+    resume: Option<ReplayState>,
+}
+
+impl ExecCtl<'static> {
+    /// No Master crashes, no journal: the legacy single-attempt path.
+    fn none() -> Self {
+        ExecCtl {
+            master_crash: None,
+            journal: None,
+            resume: None,
+        }
     }
+}
+
+impl ExecCtl<'_> {
+    /// The Master crash preempting work that completes at `boundary`, if
+    /// one is scheduled strictly before it.
+    fn interrupted(&self, boundary: SimTime) -> Option<SimTime> {
+        self.master_crash.filter(|&c| c < boundary)
+    }
+
+    /// The journaled job id, when journaling.
+    fn id(&self) -> Option<u64> {
+        self.journal.as_ref().map(|(_, id)| *id)
+    }
+
+    /// Appends a record (built from the job id) that becomes durable at
+    /// `durable_at`. No-op without a journal.
+    fn log(&mut self, durable_at: SimTime, record: impl FnOnce(u64) -> JournalRecord) {
+        if let Some((journal, id)) = self.journal.as_mut() {
+            journal.append(durable_at, record(*id));
+        }
+    }
+}
+
+/// How one migration attempt ended.
+enum ExecOutcome {
+    /// The attempt ran to a terminal report (completed or fault-aborted).
+    Done(MigrationReport),
+    /// A Master crash at `at` interrupted the attempt inside `phase`.
+    Interrupted { at: SimTime, phase: MigrationPhase },
 }
 
 /// Which phase a fault time falls in, given the phase boundaries.
@@ -726,6 +880,57 @@ fn phase_of(t: SimTime, phase1_end: SimTime, phase2_end: SimTime) -> MigrationPh
     } else {
         MigrationPhase::DataMigration
     }
+}
+
+/// Rebuilds a sealed shipment plan from freshly routed source dumps.
+///
+/// Sources are never mutated before the scale-in commits, so re-routing
+/// their dumps reproduces the exact item lists FuseCache chose prefixes
+/// from; each sealed `take` prefix must then hash to the sealed checksum.
+/// Any divergence means the world changed under the journal — an
+/// [`ElmemError::InconsistentMigration`], never a silent re-plan.
+fn reconstruct_shipments(
+    mut inbound: InboundMap,
+    manifest: &[ShipmentManifest],
+) -> Result<Vec<Shipment>, ElmemError> {
+    // Index the routed lists by the manifest's identity triple.
+    let mut routed: HashMap<(NodeId, NodeId, ClassId), Vec<ItemMeta>> = HashMap::new();
+    for ((target, class), lists) in inbound.drain() {
+        for (source, items) in lists {
+            routed.insert((source, target, class), items);
+        }
+    }
+    let mut plan = Vec::with_capacity(manifest.len());
+    for m in manifest {
+        let items = routed
+            .remove(&(m.source, m.target, m.class))
+            .ok_or_else(|| {
+                ElmemError::InconsistentMigration(format!(
+                    "resume: no routed items for sealed shipment seq {} ({}→{} {})",
+                    m.seq, m.source, m.target, m.class
+                ))
+            })?;
+        if m.take > items.len() {
+            return Err(ElmemError::InconsistentMigration(format!(
+                "resume: sealed shipment seq {} takes {} of only {} routed items",
+                m.seq,
+                m.take,
+                items.len()
+            )));
+        }
+        let shipment = Shipment {
+            seq: m.seq,
+            source: m.source,
+            target: m.target,
+            class: m.class,
+            items,
+            take: m.take,
+            checksum: m.checksum,
+        };
+        shipment.verify_content()?;
+        plan.push(shipment);
+    }
+    Ok(plan)
 }
 
 /// [`migrate_scale_in`] under supervision: per-phase deadlines, bounded
@@ -753,8 +958,50 @@ pub fn migrate_scale_in_supervised(
     import_mode: ImportMode,
     supervision: &mut Supervision<'_>,
 ) -> Result<MigrationReport, ElmemError> {
+    match exec_scale_in(
+        tier,
+        retiring,
+        now,
+        costs,
+        import_mode,
+        supervision,
+        ExecCtl::none(),
+    )? {
+        ExecOutcome::Done(report) => Ok(report),
+        ExecOutcome::Interrupted { .. } => Err(ElmemError::InconsistentMigration(
+            "unjournaled migration cannot be interrupted by a Master crash".to_string(),
+        )),
+    }
+}
+
+/// One attempt of the supervised scale-in migration, interruptible by a
+/// scheduled Master crash and resumable from replayed journal state (see
+/// [`migrate_scale_in_supervised`] for the fault semantics of a single
+/// uninterrupted attempt).
+fn exec_scale_in(
+    tier: &mut CacheTier,
+    retiring: &[NodeId],
+    now: SimTime,
+    costs: &MigrationCosts,
+    import_mode: ImportMode,
+    supervision: &mut Supervision<'_>,
+    mut ctl: ExecCtl<'_>,
+) -> Result<ExecOutcome, ElmemError> {
     validate_retiring(tier.membership().members(), retiring)?;
     let retained_ring = tier.membership().ring().without(retiring);
+
+    // A resume after the plan sealed is manifest-driven: partial imports
+    // have already mutated the destinations, so FuseCache must not re-run.
+    // The shipments are instead reconstructed from a fresh source dump
+    // (sources are never mutated before the commit) and verified against
+    // the sealed checksums. A resume *before* the seal replans from
+    // scratch — nothing was imported yet, so the replan is identical. A
+    // post-seal attempt also skips drop sampling in phase 1: the retry
+    // RNG draws belong to shipping, and a resumed pull re-reads the dump
+    // rather than re-racing the injector.
+    let resume = ctl.resume.take();
+    let sealed: Option<Vec<ShipmentManifest>> = resume.as_ref().and_then(|st| st.manifest.clone());
+    let acked: BTreeSet<u64> = resume.map(|st| st.acked).unwrap_or_default();
 
     let mut phases = PhaseBreakdown::default();
     let mut transfer_retries = 0u32;
@@ -818,7 +1065,7 @@ pub fn migrate_scale_in_supervised(
                 .link
                 .schedule_transfer(submit_at, bytes)
                 + pipeline;
-            if !supervision.sample_metadata_drop() {
+            if sealed.is_some() || !supervision.sample_metadata_drop() {
                 break completion;
             }
             attempt += 1;
@@ -855,6 +1102,20 @@ pub fn migrate_scale_in_supervised(
     phases.dump = dump_max;
     phases.metadata_transfer = transfer_done.saturating_sub(now);
     let phase1_end = now + phases.scoring + phases.dump + phases.metadata_transfer;
+
+    // Master-crash gate: a crash inside phase 1 interrupts the attempt
+    // before this boundary's journal record ever becomes durable.
+    if let Some(t) = ctl.interrupted(phase1_end) {
+        return Ok(ExecOutcome::Interrupted {
+            at: t,
+            phase: MigrationPhase::MetadataTransfer,
+        });
+    }
+    ctl.log(phase1_end, |id| JournalRecord::PhaseDone {
+        id,
+        phase: MigrationPhase::MetadataTransfer,
+        at: phase1_end,
+    });
 
     // Destinations, deterministic order (needed for crash checks below
     // and the FuseCache pass).
@@ -919,23 +1180,52 @@ pub fn migrate_scale_in_supervised(
     // to accept from each source. Runs in parallel across destinations
     // (worker threads too, when the volume warrants it); cost = max per
     // destination. The chosen items are moved out of the routed lists into
-    // the plan — no cloning.
-    let fuse_jobs = if items_considered >= PAR_MIN_ITEMS {
-        jobs
-    } else {
-        1
+    // the plan — no cloning. On a manifest-driven resume FuseCache is
+    // skipped entirely (the destinations already absorbed partial imports,
+    // so re-comparing would pick a different plan): the sealed plan is
+    // reconstructed from the freshly routed lists and checksum-verified.
+    let (plan, phase2_end) = match &sealed {
+        Some(manifest) => (reconstruct_shipments(inbound, manifest)?, phase1_end),
+        None => {
+            let fuse_jobs = if items_considered >= PAR_MIN_ITEMS {
+                jobs
+            } else {
+                1
+            };
+            let outcome = build_shipments(tier, &dest_keys, inbound, fuse_jobs)?;
+            phases.fusecache = SimTime::from_nanos(
+                outcome
+                    .per_dest_comparisons
+                    .values()
+                    .map(|&c| c * costs.fusecache_ns_per_comparison)
+                    .max()
+                    .unwrap_or(0),
+            );
+            (outcome.plan, phase1_end + phases.fusecache)
+        }
     };
-    let outcome = build_shipments(tier, &dest_keys, inbound, fuse_jobs)?;
-    let plan = outcome.plan;
-    phases.fusecache = SimTime::from_nanos(
-        outcome
-            .per_dest_comparisons
-            .values()
-            .map(|&c| c * costs.fusecache_ns_per_comparison)
-            .max()
-            .unwrap_or(0),
-    );
-    let phase2_end = phase1_end + phases.fusecache;
+
+    // Master-crash gate at the phase-2 boundary: a crash here loses the
+    // plan (it only seals at the boundary), so the resumed attempt
+    // replans from scratch.
+    if let Some(t) = ctl.interrupted(phase2_end) {
+        return Ok(ExecOutcome::Interrupted {
+            at: t,
+            phase: MigrationPhase::HotnessComparison,
+        });
+    }
+    if sealed.is_none() {
+        ctl.log(phase2_end, |id| JournalRecord::PlanSealed {
+            id,
+            at: phase2_end,
+            manifest: plan.iter().map(Shipment::manifest).collect(),
+        });
+        ctl.log(phase2_end, |id| JournalRecord::PhaseDone {
+            id,
+            phase: MigrationPhase::HotnessComparison,
+            at: phase2_end,
+        });
+    }
 
     // A destination dying during the comparison aborts in phase 2
     // (crashes before phase 1's end already returned above).
@@ -981,8 +1271,17 @@ pub fn migrate_scale_in_supervised(
     let mut data_done = data_start;
     let mut import_ns: HashMap<NodeId, u64> = HashMap::new();
     for shipment in plan {
-        let (src, target) = (shipment.source, shipment.target);
         let bytes = ByteSize(shipment.items().iter().map(|i| i.footprint()).sum());
+        if acked.contains(&shipment.seq) {
+            // Durably acked before the crash: the import already applied
+            // on its destination. Count it toward the totals (so a
+            // resumed report matches the uninterrupted one) but ship
+            // nothing and charge no transfer or import time.
+            bytes_migrated += bytes;
+            items_migrated += shipment.len() as u64;
+            continue;
+        }
+        let (src, target) = (shipment.source, shipment.target);
         let pipeline = SimTime::from_nanos(shipment.len() as u64 * costs.data_ns_per_item);
         let mut attempt = 0u32;
         let mut submit_at = data_start;
@@ -1017,6 +1316,16 @@ pub fn migrate_scale_in_supervised(
             }
             submit_at = completion + supervision.retry.backoff(attempt);
         };
+        // Master-crash gate: the Master dies before this shipment lands,
+        // so it never ships. Everything already imported stays (the
+        // journaled runner resumes; the unjournaled path never sees a
+        // Master crash).
+        if let Some(t) = ctl.interrupted(done) {
+            return Ok(ExecOutcome::Interrupted {
+                at: t,
+                phase: phase_of(t, phase1_end, phase2_end),
+            });
+        }
         // A source or destination dying before this shipment lands aborts
         // here, keeping everything already imported. The phase is the one
         // the crash time falls in (a node may die while idle in an
@@ -1046,19 +1355,59 @@ pub fn migrate_scale_in_supervised(
             ));
         }
         data_done = data_done.max(done);
-        *import_ns.entry(target).or_default() += shipment.len() as u64 * costs.import_ns_per_item;
         // Apply the import (items are hottest-first within each source's
         // class list; the store re-sorts/merges as configured). The sealed
-        // checksum proves the shipment arrives exactly as planned.
+        // checksum proves the shipment arrives exactly as planned. The
+        // journaled path goes through the destination's import ledger,
+        // which suppresses a re-delivered shipment whose import already
+        // applied before a Master crash ate its ack.
         shipment.verify_content()?;
         let node = live_node_mut(tier, target)?;
-        node.store
-            .batch_import(shipment.class, shipment.items(), import_mode)?;
+        let applied = match ctl.id() {
+            Some(id) => node.import_shipment(
+                id,
+                shipment.seq,
+                shipment.checksum(),
+                shipment.class,
+                shipment.items(),
+                import_mode,
+            )?,
+            None => {
+                node.store
+                    .batch_import(shipment.class, shipment.items(), import_mode)?;
+                true
+            }
+        };
+        if applied {
+            *import_ns.entry(target).or_default() +=
+                shipment.len() as u64 * costs.import_ns_per_item;
+        }
+        // The ack becomes durable only after the WAL flush lag: a Master
+        // crash inside the window re-delivers this shipment on resume and
+        // the ledger suppresses the duplicate import.
+        ctl.log(done + ACK_DURABILITY_LAG, |id| {
+            JournalRecord::ShipmentAcked {
+                id,
+                seq: shipment.seq,
+                at: done,
+            }
+        });
         bytes_migrated += bytes;
         items_migrated += shipment.len() as u64;
     }
     phases.data_transfer = data_done.saturating_sub(data_start);
     phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
+
+    // Master-crash gate at the final boundary: all data landed, but the
+    // Master dies before recording completion — the resumed attempt
+    // re-delivers only what the journal never durably acked.
+    let completed = now + phases.total();
+    if let Some(t) = ctl.interrupted(completed) {
+        return Ok(ExecOutcome::Interrupted {
+            at: t,
+            phase: MigrationPhase::DataMigration,
+        });
+    }
 
     if let Some(budget) = supervision.deadlines.data {
         if phases.data_transfer + phases.import > budget {
@@ -1077,9 +1426,14 @@ pub fn migrate_scale_in_supervised(
         }
     }
 
-    Ok(MigrationReport {
+    ctl.log(completed, |id| JournalRecord::PhaseDone {
+        id,
+        phase: MigrationPhase::DataMigration,
+        at: completed,
+    });
+    Ok(ExecOutcome::Done(MigrationReport {
         started: now,
-        completed: now + phases.total(),
+        completed,
         phases,
         items_migrated,
         bytes_migrated,
@@ -1087,7 +1441,8 @@ pub fn migrate_scale_in_supervised(
         items_considered,
         outcome: MigrationOutcome::Completed,
         transfer_retries,
-    })
+        resumes: Vec::new(),
+    }))
 }
 
 /// Executes the scale-out migration (§III-D4): each existing member ships
@@ -1107,6 +1462,17 @@ pub fn migrate_scale_out(
     now: SimTime,
     costs: &MigrationCosts,
 ) -> Result<MigrationReport, ElmemError> {
+    match exec_scale_out(tier, new_nodes, now, costs, ExecCtl::none())? {
+        ExecOutcome::Done(report) => Ok(report),
+        ExecOutcome::Interrupted { .. } => Err(ElmemError::InconsistentMigration(
+            "unjournaled migration cannot be interrupted by a Master crash".to_string(),
+        )),
+    }
+}
+
+/// Validates a scale-out request: the new nodes must be non-empty,
+/// provisioned, and outside the current membership.
+fn validate_scale_out(tier: &CacheTier, new_nodes: &[NodeId]) -> Result<(), ElmemError> {
     if new_nodes.is_empty() {
         return Err(ElmemError::InvalidScaling("no new nodes".to_string()));
     }
@@ -1119,7 +1485,29 @@ pub fn migrate_scale_out(
         }
         tier.node(*id)?; // must be provisioned
     }
+    Ok(())
+}
+
+/// One attempt of the scale-out migration, interruptible by a scheduled
+/// Master crash and resumable from replayed journal state (see
+/// [`migrate_scale_out`]).
+fn exec_scale_out(
+    tier: &mut CacheTier,
+    new_nodes: &[NodeId],
+    now: SimTime,
+    costs: &MigrationCosts,
+    mut ctl: ExecCtl<'_>,
+) -> Result<ExecOutcome, ElmemError> {
+    validate_scale_out(tier, new_nodes)?;
     let expanded_ring = tier.membership().ring().with(new_nodes);
+
+    // Re-dumping on resume is safe for scale-out too: imports land only
+    // on the provisioned-but-not-yet-member new nodes, so the members'
+    // dumps are untouched by a partially-executed plan. The re-derived
+    // plan must still match the sealed manifest exactly.
+    let resume = ctl.resume.take();
+    let sealed: Option<Vec<ShipmentManifest>> = resume.as_ref().and_then(|st| st.manifest.clone());
+    let acked: BTreeSet<u64> = resume.map(|st| st.acked).unwrap_or_default();
 
     let mut phases = PhaseBreakdown::default();
     let mut items_considered = 0u64;
@@ -1133,7 +1521,7 @@ pub fn migrate_scale_out(
     // and ships whatever lands on a new node. Under consistent hashing this
     // is ~1/(k+1) of its keys, which typically fits the new node outright.
     let mut moves: Vec<(NodeId, NodeId, ClassId, Vec<ItemMeta>)> = Vec::new();
-    for &src in members {
+    for &src in tier.membership().members() {
         let dump = live_node(tier, src)?.store.dump_metadata();
         items_considered += dump.total_items();
         dump_max = dump_max.max(SimTime::from_nanos(
@@ -1155,32 +1543,125 @@ pub fn migrate_scale_out(
         }
     }
     phases.dump = dump_max;
+    let seal_at = now + phases.dump;
+
+    // Master-crash gate before the plan seals: the resumed attempt
+    // re-dumps and re-derives the identical plan.
+    if let Some(t) = ctl.interrupted(seal_at) {
+        return Ok(ExecOutcome::Interrupted {
+            at: t,
+            phase: MigrationPhase::MetadataTransfer,
+        });
+    }
+
+    moves.sort_by_key(|(s, t, c, _)| (*s, *t, *c)); // deterministic
+    let plan: Vec<Shipment> = moves
+        .into_iter()
+        .enumerate()
+        .map(|(i, (s, t, c, items))| Shipment::sealed(i as u64, s, t, c, items))
+        .collect();
+    match &sealed {
+        Some(manifest) => {
+            // The re-derived plan must reproduce the sealed one exactly
+            // (same shipments, same contents — checksums included).
+            if plan.len() != manifest.len()
+                || plan
+                    .iter()
+                    .zip(manifest.iter())
+                    .any(|(s, m)| s.manifest() != *m)
+            {
+                return Err(ElmemError::InconsistentMigration(
+                    "resume: scale-out re-dump diverged from the sealed manifest".to_string(),
+                ));
+            }
+        }
+        None => {
+            ctl.log(seal_at, |id| JournalRecord::PlanSealed {
+                id,
+                at: seal_at,
+                manifest: plan.iter().map(Shipment::manifest).collect(),
+            });
+            ctl.log(seal_at, |id| JournalRecord::PhaseDone {
+                id,
+                phase: MigrationPhase::MetadataTransfer,
+                at: seal_at,
+            });
+        }
+    }
 
     // Ship + import. (In the rare case the shipped set exceeds the new
     // node's capacity, the store's import evicts the coldest overflow —
     // equivalent to the paper's "run FuseCache to determine the top pairs".)
-    moves.sort_by_key(|(s, t, c, _)| (*s, *t, *c)); // deterministic
-    for (src, target, class, items) in moves {
-        let bytes = ByteSize(items.iter().map(|i| i.footprint()).sum());
+    for shipment in plan {
+        let bytes = ByteSize(shipment.items().iter().map(|i| i.footprint()).sum());
         bytes_migrated += bytes;
-        items_migrated += items.len() as u64;
-        let done = live_node_mut(tier, src)?
+        items_migrated += shipment.len() as u64;
+        if acked.contains(&shipment.seq) {
+            // Durably acked before the crash: already imported on the new
+            // node; counted above, nothing ships.
+            continue;
+        }
+        let done = live_node_mut(tier, shipment.source)?
             .link
-            .schedule_transfer(now + phases.dump, bytes);
+            .schedule_transfer(seal_at, bytes);
         transfer_done = transfer_done.max(done);
-        *import_ns.entry(target).or_default() += items.len() as u64 * costs.import_ns_per_item;
+        // Master-crash gate: the Master dies before this shipment lands.
+        if let Some(t) = ctl.interrupted(done) {
+            return Ok(ExecOutcome::Interrupted {
+                at: t,
+                phase: MigrationPhase::DataMigration,
+            });
+        }
+        let target = shipment.target;
         let node = live_node_mut(tier, target)?;
-        node.store.batch_import(class, &items, ImportMode::Merge)?;
+        let applied = match ctl.id() {
+            Some(id) => node.import_shipment(
+                id,
+                shipment.seq,
+                shipment.checksum(),
+                shipment.class,
+                shipment.items(),
+                ImportMode::Merge,
+            )?,
+            None => {
+                node.store
+                    .batch_import(shipment.class, shipment.items(), ImportMode::Merge)?;
+                true
+            }
+        };
+        if applied {
+            *import_ns.entry(target).or_default() +=
+                shipment.len() as u64 * costs.import_ns_per_item;
+        }
+        ctl.log(done + ACK_DURABILITY_LAG, |id| {
+            JournalRecord::ShipmentAcked {
+                id,
+                seq: shipment.seq,
+                at: done,
+            }
+        });
         // The source keeps its copy until the membership flips; after the
         // flip those keys hash to the new node and the stale copies age out
         // of the source's LRU naturally (as in the real system).
     }
-    phases.data_transfer = transfer_done.saturating_sub(now + phases.dump);
+    phases.data_transfer = transfer_done.saturating_sub(seal_at);
     phases.import = SimTime::from_nanos(import_ns.values().copied().max().unwrap_or(0));
 
-    Ok(MigrationReport {
+    let completed = now + phases.total();
+    if let Some(t) = ctl.interrupted(completed) {
+        return Ok(ExecOutcome::Interrupted {
+            at: t,
+            phase: MigrationPhase::DataMigration,
+        });
+    }
+    ctl.log(completed, |id| JournalRecord::PhaseDone {
+        id,
+        phase: MigrationPhase::DataMigration,
+        at: completed,
+    });
+    Ok(ExecOutcome::Done(MigrationReport {
         started: now,
-        completed: now + phases.total(),
+        completed,
         phases,
         items_migrated,
         bytes_migrated,
@@ -1188,7 +1669,8 @@ pub fn migrate_scale_out(
         items_considered,
         outcome: MigrationOutcome::Completed,
         transfer_retries: 0,
-    })
+        resumes: Vec::new(),
+    }))
 }
 
 /// The *Naive* comparator's migration (§V-B4): ships the hottest
@@ -1290,7 +1772,168 @@ pub fn migrate_naive_scale_in(
         items_considered,
         outcome: MigrationOutcome::Completed,
         transfer_retries: 0,
+        resumes: Vec::new(),
     })
+}
+
+/// Drives [`exec_scale_in`]/[`exec_scale_out`] attempts under a
+/// [`MasterPlan`]: journals `Started`, and on each Master-crash
+/// interruption truncates the journal to what was durable at the crash
+/// instant, replays it, and (per the recovery policy) either resumes a
+/// fresh attempt after the restart delay or gives up with a
+/// Master-crashed abort.
+#[allow(clippy::too_many_arguments)]
+fn run_journaled(
+    tier: &mut CacheTier,
+    nodes: &[NodeId],
+    kind: MigrationKind,
+    now: SimTime,
+    master: &MasterPlan,
+    journal: &mut MigrationJournal,
+    id: u64,
+    mut exec: impl FnMut(&mut CacheTier, SimTime, ExecCtl<'_>) -> Result<ExecOutcome, ElmemError>,
+) -> Result<MigrationReport, ElmemError> {
+    journal.append(
+        now,
+        JournalRecord::Started {
+            id,
+            kind,
+            nodes: nodes.to_vec(),
+            at: now,
+        },
+    );
+    let mut resumes: Vec<ResumePoint> = Vec::new();
+    let mut resume: Option<ReplayState> = None;
+    let mut attempt_start = now;
+    loop {
+        let ctl = ExecCtl {
+            master_crash: master.next_crash_after(attempt_start),
+            journal: Some((&mut *journal, id)),
+            resume: resume.take(),
+        };
+        match exec(tier, attempt_start, ctl)? {
+            ExecOutcome::Done(mut report) => {
+                // The report spans the whole journey: `started` is the
+                // original trigger, `phases` the final attempt.
+                report.started = now;
+                report.resumes = resumes;
+                let terminal = match report.outcome {
+                    MigrationOutcome::Completed => JournalRecord::Committed {
+                        id,
+                        at: report.completed,
+                    },
+                    MigrationOutcome::Aborted { .. } => JournalRecord::Aborted {
+                        id,
+                        at: report.completed,
+                    },
+                };
+                journal.append(report.completed, terminal);
+                return Ok(report);
+            }
+            ExecOutcome::Interrupted { at, phase } => {
+                // The crash eats every record not yet durable at `at`.
+                journal.discard_after(at);
+                let resumed_at = at + master.restart_delay;
+                if master.recovery == MasterRecovery::Abort {
+                    journal.append(resumed_at, JournalRecord::Aborted { id, at: resumed_at });
+                    resumes.push(ResumePoint {
+                        crashed_at: at,
+                        resumed_at,
+                        phase,
+                    });
+                    return Ok(MigrationReport {
+                        started: now,
+                        completed: resumed_at,
+                        phases: PhaseBreakdown::default(),
+                        items_migrated: 0,
+                        bytes_migrated: ByteSize::ZERO,
+                        metadata_bytes: ByteSize::ZERO,
+                        items_considered: 0,
+                        outcome: MigrationOutcome::Aborted {
+                            phase,
+                            cause: AbortCause::MasterCrashed,
+                        },
+                        transfer_retries: 0,
+                        resumes,
+                    });
+                }
+                let st = journal.replay(id);
+                journal.append(
+                    resumed_at,
+                    JournalRecord::Resumed {
+                        id,
+                        at: resumed_at,
+                        phase,
+                    },
+                );
+                resumes.push(ResumePoint {
+                    crashed_at: at,
+                    resumed_at,
+                    phase,
+                });
+                resume = Some(st);
+                attempt_start = resumed_at;
+            }
+        }
+    }
+}
+
+/// [`migrate_scale_in_supervised`] under a crash-recoverable Master: the
+/// migration journals its progress into `journal` under job `id`, and a
+/// Master crash scheduled in `supervision.master` interrupts the attempt;
+/// per the recovery policy the Master then replays the journal and
+/// resumes from the last durable point (or aborts). With no scheduled
+/// crashes this is byte-for-byte [`migrate_scale_in_supervised`] plus the
+/// journal records.
+#[allow(clippy::too_many_arguments)]
+pub fn migrate_scale_in_journaled(
+    tier: &mut CacheTier,
+    retiring: &[NodeId],
+    now: SimTime,
+    costs: &MigrationCosts,
+    import_mode: ImportMode,
+    supervision: &mut Supervision<'_>,
+    journal: &mut MigrationJournal,
+    id: u64,
+) -> Result<MigrationReport, ElmemError> {
+    // Validate before journaling Started: a rejected request never
+    // existed as far as the journal is concerned.
+    validate_retiring(tier.membership().members(), retiring)?;
+    let master = supervision.master.clone();
+    run_journaled(
+        tier,
+        retiring,
+        MigrationKind::ScaleIn,
+        now,
+        &master,
+        journal,
+        id,
+        |tier, at, ctl| exec_scale_in(tier, retiring, at, costs, import_mode, supervision, ctl),
+    )
+}
+
+/// [`migrate_scale_out`] under a crash-recoverable Master; see
+/// [`migrate_scale_in_journaled`] for the journey semantics.
+pub fn migrate_scale_out_journaled(
+    tier: &mut CacheTier,
+    new_nodes: &[NodeId],
+    now: SimTime,
+    costs: &MigrationCosts,
+    master: &MasterPlan,
+    journal: &mut MigrationJournal,
+    id: u64,
+) -> Result<MigrationReport, ElmemError> {
+    validate_scale_out(tier, new_nodes)?;
+    run_journaled(
+        tier,
+        new_nodes,
+        MigrationKind::ScaleOut,
+        now,
+        master,
+        journal,
+        id,
+        |tier, at, ctl| exec_scale_out(tier, new_nodes, at, costs, ctl),
+    )
 }
 
 fn validate_retiring(members: &[NodeId], retiring: &[NodeId]) -> Result<(), ElmemError> {
@@ -1725,5 +2368,257 @@ mod tests {
         assert_eq!(retry.backoff(3), SimTime::from_secs(2));
         assert_eq!(retry.backoff(10), SimTime::from_secs(8));
         assert_eq!(retry.backoff(60), SimTime::from_secs(8));
+    }
+
+    // ---- crash-recoverable control plane (DESIGN.md §13) -----------------
+
+    /// Every member's per-class item vectors, in deterministic order — the
+    /// byte-level store state the resume invariants compare.
+    fn fingerprint(tier: &CacheTier) -> Vec<(NodeId, ClassId, Vec<ItemMeta>)> {
+        let mut members: Vec<NodeId> = tier.membership().members().to_vec();
+        members.sort_unstable();
+        let mut out = Vec::new();
+        for id in members {
+            let store = &tier.node(id).unwrap().store;
+            for class in store.classes().ids() {
+                out.push((id, class, store.dump_class(class).items));
+            }
+        }
+        out
+    }
+
+    fn journaled_scale_in(
+        tier: &mut CacheTier,
+        master: MasterPlan,
+        journal: &mut MigrationJournal,
+    ) -> MigrationReport {
+        let mut sup = Supervision::none();
+        sup.master = master;
+        migrate_scale_in_journaled(
+            tier,
+            &[NodeId(0)],
+            NOW,
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+            &mut sup,
+            journal,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn journaled_run_without_crashes_matches_supervised() {
+        let (mut a, _) = warmed_tier();
+        let (mut b, _) = warmed_tier();
+        let ra = migrate_scale_in_supervised(
+            &mut a,
+            &[NodeId(0)],
+            NOW,
+            &MigrationCosts::default(),
+            ImportMode::Merge,
+            &mut Supervision::none(),
+        )
+        .unwrap();
+        let mut journal = MigrationJournal::new();
+        let rb = journaled_scale_in(&mut b, MasterPlan::default(), &mut journal);
+        assert_eq!(ra, rb, "journaling must not perturb the migration");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // The journal tells the full story and replays to a committed job.
+        let st = journal.replay(0);
+        assert!(st.committed);
+        assert_eq!(st.resumes, 0);
+        assert_eq!(
+            st.acked.len(),
+            st.manifest.as_ref().unwrap().len(),
+            "every sealed shipment acked"
+        );
+    }
+
+    #[test]
+    fn scale_in_resumes_byte_identically_at_any_crash_point() {
+        let (mut clean, _) = warmed_tier();
+        let mut clean_journal = MigrationJournal::new();
+        let clean_report =
+            journaled_scale_in(&mut clean, MasterPlan::default(), &mut clean_journal);
+        let want = fingerprint(&clean);
+        let span = clean_report.completed.saturating_sub(NOW).as_nanos();
+        assert!(span > 0);
+
+        let mut saw_suppressed_duplicate = false;
+        for num in [1u64, 3, 5, 7, 9, 995, 999] {
+            let crash = NOW + SimTime::from_nanos(span * num / 1000);
+            let (mut tier, _) = warmed_tier();
+            let mut journal = MigrationJournal::new();
+            let report = journaled_scale_in(
+                &mut tier,
+                MasterPlan {
+                    crashes: vec![crash],
+                    ..MasterPlan::default()
+                },
+                &mut journal,
+            );
+            assert_eq!(report.outcome, MigrationOutcome::Completed);
+            assert_eq!(report.resumes.len(), 1, "crash at {num}/1000");
+            assert_eq!(report.resumes[0].crashed_at, crash);
+            assert_eq!(report.started, NOW);
+            assert_eq!(
+                fingerprint(&tier),
+                want,
+                "resumed store state diverged (crash at {num}/1000)"
+            );
+            assert_eq!(report.items_migrated, clean_report.items_migrated);
+            assert_eq!(report.bytes_migrated, clean_report.bytes_migrated);
+            let st = journal.replay(0);
+            assert!(st.committed);
+            assert_eq!(st.resumes, 1);
+            for id in tier.membership().members() {
+                if tier
+                    .node(*id)
+                    .unwrap()
+                    .import_ledger()
+                    .duplicates_suppressed()
+                    > 0
+                {
+                    saw_suppressed_duplicate = true;
+                }
+            }
+        }
+        assert!(
+            saw_suppressed_duplicate,
+            "no crash point exercised the ack-durability-lag re-delivery"
+        );
+    }
+
+    #[test]
+    fn resume_twice_equals_resume_once() {
+        let (mut clean, _) = warmed_tier();
+        let clean_report = journaled_scale_in(
+            &mut clean,
+            MasterPlan::default(),
+            &mut MigrationJournal::new(),
+        );
+        let span = clean_report.completed.saturating_sub(NOW).as_nanos();
+        // First crash mid-flight; the second lands inside the *resumed*
+        // attempt (which replays the tail after the 500 ms restart).
+        let first = NOW + SimTime::from_nanos(span / 2);
+        let second = first + SimTime::from_millis(500) + SimTime::from_nanos(span / 4);
+        let (mut tier, _) = warmed_tier();
+        let mut journal = MigrationJournal::new();
+        let report = journaled_scale_in(
+            &mut tier,
+            MasterPlan {
+                crashes: vec![first, second],
+                ..MasterPlan::default()
+            },
+            &mut journal,
+        );
+        assert_eq!(report.outcome, MigrationOutcome::Completed);
+        assert_eq!(report.resumes.len(), 2);
+        assert_eq!(fingerprint(&tier), fingerprint(&clean));
+        assert_eq!(report.items_migrated, clean_report.items_migrated);
+        assert_eq!(journal.replay(0).resumes, 2);
+    }
+
+    #[test]
+    fn abort_recovery_gives_up_with_master_crashed() {
+        let (mut clean, _) = warmed_tier();
+        let clean_report = journaled_scale_in(
+            &mut clean,
+            MasterPlan::default(),
+            &mut MigrationJournal::new(),
+        );
+        let span = clean_report.completed.saturating_sub(NOW).as_nanos();
+        let crash = NOW + SimTime::from_nanos(span * 9 / 10);
+        let (mut tier, _) = warmed_tier();
+        let mut journal = MigrationJournal::new();
+        let report = journaled_scale_in(
+            &mut tier,
+            MasterPlan {
+                crashes: vec![crash],
+                recovery: MasterRecovery::Abort,
+                ..MasterPlan::default()
+            },
+            &mut journal,
+        );
+        assert_eq!(
+            report.outcome,
+            MigrationOutcome::Aborted {
+                phase: MigrationPhase::DataMigration,
+                cause: AbortCause::MasterCrashed,
+            }
+        );
+        assert_eq!(report.completed, crash + SimTime::from_millis(500));
+        assert_eq!(report.resumes.len(), 1);
+        let st = journal.replay(0);
+        assert!(st.aborted && !st.committed);
+    }
+
+    #[test]
+    fn scale_out_resumes_byte_identically() {
+        let (mut clean, _) = warmed_tier();
+        let new_clean = clean.provision_nodes(1);
+        let mut clean_journal = MigrationJournal::new();
+        let clean_report = migrate_scale_out_journaled(
+            &mut clean,
+            &new_clean,
+            NOW,
+            &MigrationCosts::default(),
+            &MasterPlan::default(),
+            &mut clean_journal,
+            0,
+        )
+        .unwrap();
+        let span = clean_report.completed.saturating_sub(NOW).as_nanos();
+        for num in [1u64, 500, 999] {
+            let crash = NOW + SimTime::from_nanos(span * num / 1000);
+            let (mut tier, _) = warmed_tier();
+            let new = tier.provision_nodes(1);
+            let mut journal = MigrationJournal::new();
+            let report = migrate_scale_out_journaled(
+                &mut tier,
+                &new,
+                NOW,
+                &MigrationCosts::default(),
+                &MasterPlan {
+                    crashes: vec![crash],
+                    ..MasterPlan::default()
+                },
+                &mut journal,
+                0,
+            )
+            .unwrap();
+            assert_eq!(report.outcome, MigrationOutcome::Completed);
+            assert_eq!(report.resumes.len(), 1);
+            assert_eq!(
+                tier.node(new[0]).unwrap().store.dump_metadata().classes,
+                clean
+                    .node(new_clean[0])
+                    .unwrap()
+                    .store
+                    .dump_metadata()
+                    .classes,
+                "new node contents diverged (crash at {num}/1000)"
+            );
+            assert_eq!(report.items_migrated, clean_report.items_migrated);
+        }
+    }
+
+    #[test]
+    fn journal_records_tell_a_coherent_story() {
+        let (mut tier, _) = warmed_tier();
+        let mut journal = MigrationJournal::new();
+        let report = journaled_scale_in(&mut tier, MasterPlan::default(), &mut journal);
+        let labels: Vec<&str> = journal.entries().iter().map(|e| e.record.label()).collect();
+        assert_eq!(labels.first(), Some(&"started"));
+        assert_eq!(labels.last(), Some(&"committed"));
+        assert!(labels.contains(&"plan_sealed"));
+        assert!(labels.contains(&"shipment_acked"));
+        // Round-trips through the JSON WAL format byte-identically.
+        let json = journal.to_json();
+        let back = MigrationJournal::parse_json(&json).unwrap();
+        assert_eq!(back.to_json(), json);
+        assert_eq!(back.replay(0), journal.replay(0));
+        assert!(report.resumes.is_empty());
     }
 }

@@ -223,6 +223,7 @@ pub fn abort_class(cause: &AbortCause) -> AbortClass {
         AbortCause::DestinationCrashed(_) => AbortClass::DestinationCrashed,
         AbortCause::DeadlineExceeded => AbortClass::DeadlineExceeded,
         AbortCause::TransferRetriesExhausted { .. } => AbortClass::RetriesExhausted,
+        AbortCause::MasterCrashed => AbortClass::MasterCrashed,
     }
 }
 
@@ -261,7 +262,35 @@ pub fn record_migration_events(trace: &mut EventTrace, report: &MigrationReport)
         MigrationOutcome::Completed => None,
         MigrationOutcome::Aborted { phase, cause } => Some((phase_kind(phase), cause)),
     };
-    let mut t = report.started;
+    // A journaled migration the Master crashed out of and resumed: one
+    // `MasterCrashed` per crash, one `MigrationResumed` per restart that
+    // actually resumed (under an abort-on-crash policy the final restart
+    // gave up instead — the `MigrationAborted` below tells that story).
+    let gave_up = matches!(
+        report.outcome,
+        MigrationOutcome::Aborted {
+            cause: AbortCause::MasterCrashed,
+            ..
+        }
+    );
+    for (i, r) in report.resumes.iter().enumerate() {
+        trace.record(r.crashed_at, None, EventKind::MasterCrashed);
+        if !(gave_up && i + 1 == report.resumes.len()) {
+            trace.record(
+                r.resumed_at,
+                None,
+                EventKind::MigrationResumed {
+                    phase: phase_kind(r.phase),
+                },
+            );
+        }
+    }
+    // The phase spans describe the final attempt, which started at the
+    // last resume point (or at the trigger, if the Master never crashed).
+    let mut t = report
+        .resumes
+        .last()
+        .map_or(report.started, |r| r.resumed_at);
     for (kind, span) in spans {
         // An aborted run stops inside the failing phase: its Start is
         // real, its End never happened.
@@ -491,7 +520,51 @@ mod tests {
             items_considered: 500,
             outcome,
             transfer_retries: 0,
+            resumes: Vec::new(),
         }
+    }
+
+    #[test]
+    fn resumed_migration_records_crash_and_resume_events() {
+        let mut trace = EventTrace::with_capacity(64);
+        let mut report = report(MigrationOutcome::Completed);
+        report.resumes = vec![crate::migration::ResumePoint {
+            crashed_at: SimTime::from_secs(11),
+            resumed_at: SimTime::from_millis(11_500),
+            phase: MigrationPhase::DataMigration,
+        }];
+        record_migration_events(&mut trace, &report);
+        let kinds: Vec<&str> = trace.events().map(|e| e.kind.label()).collect();
+        assert!(kinds.contains(&"master_crashed"));
+        assert!(kinds.contains(&"migration_resumed"));
+        // Phase spans replay from the resume point, not the trigger.
+        let first_start = trace
+            .events()
+            .find(|e| matches!(e.kind, EventKind::MigrationPhaseStart { .. }))
+            .unwrap();
+        assert_eq!(first_start.at, SimTime::from_millis(11_500));
+    }
+
+    #[test]
+    fn master_crash_abort_skips_the_final_resume_event() {
+        let mut trace = EventTrace::with_capacity(64);
+        let mut report = report(MigrationOutcome::Aborted {
+            phase: MigrationPhase::DataMigration,
+            cause: AbortCause::MasterCrashed,
+        });
+        report.resumes = vec![crate::migration::ResumePoint {
+            crashed_at: SimTime::from_secs(11),
+            resumed_at: SimTime::from_millis(11_500),
+            phase: MigrationPhase::DataMigration,
+        }];
+        record_migration_events(&mut trace, &report);
+        let kinds: Vec<&str> = trace.events().map(|e| e.kind.label()).collect();
+        assert!(kinds.contains(&"master_crashed"));
+        assert!(
+            !kinds.contains(&"migration_resumed"),
+            "the give-up restart is not a resume"
+        );
+        assert!(kinds.contains(&"migration_aborted"));
     }
 
     #[test]

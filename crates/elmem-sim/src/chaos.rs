@@ -86,6 +86,10 @@ pub struct ChaosPlan {
     pub faults: FaultPlan,
     /// Scripted scaling actions, in generation order.
     pub actions: Vec<ScheduledChaosAction>,
+    /// Scheduled Master crash instants. Each lands shortly after some
+    /// scripted action so it interrupts the migration that action
+    /// triggered; the Master restarts and resumes from its journal.
+    pub master_crashes: Vec<SimTime>,
 }
 
 /// Bounds for [`ChaosPlan::generate`]'s sampling.
@@ -107,6 +111,8 @@ pub struct ChaosLimits {
     pub max_faults: usize,
     /// Most scripted scaling actions per plan.
     pub max_actions: usize,
+    /// Most scheduled Master crashes per plan.
+    pub max_master_crashes: usize,
 }
 
 impl Default for ChaosLimits {
@@ -120,6 +126,7 @@ impl Default for ChaosLimits {
             max_duration_secs: 150,
             max_faults: 4,
             max_actions: 3,
+            max_master_crashes: 2,
         }
     }
 }
@@ -193,6 +200,17 @@ impl ChaosPlan {
             actions.push(ScheduledChaosAction { at, action });
         }
 
+        // Master crashes land shortly after some scripted action's decision
+        // time, so they tend to interrupt the migration it triggered and
+        // exercise the journal's restart-and-resume path.
+        let n_crashes = rng.next_below(limits.max_master_crashes as u64 + 1) as usize;
+        let mut master_crashes = Vec::with_capacity(n_crashes);
+        for _ in 0..n_crashes {
+            let idx = rng.next_below(actions.len() as u64) as usize;
+            let offset = SimTime::from_millis(500 + rng.next_below(30_000));
+            master_crashes.push(actions[idx].at + offset);
+        }
+
         ChaosPlan {
             seed,
             nodes,
@@ -202,6 +220,7 @@ impl ChaosPlan {
             autoscaler,
             faults: plan,
             actions,
+            master_crashes,
         }
     }
 
@@ -210,6 +229,7 @@ impl ChaosPlan {
     pub fn weight(&self) -> usize {
         self.faults.scheduled().len()
             + self.actions.len()
+            + self.master_crashes.len()
             + usize::from(self.faults.metadata_drop_prob > 0.0)
             + usize::from(self.faults.transfer_drop_prob > 0.0)
             + usize::from(self.healing)
@@ -240,6 +260,13 @@ impl ChaosPlan {
                 "{{\"at_ns\":{},\"kind\":\"{kind}\",\"count\":{count}}}",
                 scheduled.at.as_nanos()
             );
+        }
+        out.push_str("],\"master_crashes\":[");
+        for (i, at) in self.master_crashes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", at.as_nanos());
         }
         out.push_str("]}");
     }
@@ -292,6 +319,20 @@ impl ChaosPlan {
             };
             actions.push(ScheduledChaosAction { at, action });
         }
+        // Absent in plans serialized before the journal existed: an old
+        // committed reproduction still parses (and crashes no Master).
+        let master_crashes = match value.get("master_crashes").and_then(JsonValue::as_array) {
+            Some(entries) => entries
+                .iter()
+                .map(|entry| {
+                    entry
+                        .as_u64()
+                        .map(SimTime::from_nanos)
+                        .ok_or_else(|| "malformed 'master_crashes' entry".to_string())
+                })
+                .collect::<Result<Vec<SimTime>, String>>()?,
+            None => Vec::new(),
+        };
         Ok(ChaosPlan {
             seed: field_u64("seed")?,
             nodes: field_u64("nodes")? as u32,
@@ -301,6 +342,7 @@ impl ChaosPlan {
             autoscaler: field_bool("autoscaler")?,
             faults,
             actions,
+            master_crashes,
         })
     }
 
@@ -376,6 +418,13 @@ fn candidates(plan: &ChaosPlan) -> Vec<ChaosPlan> {
     for drop_at in 0..plan.actions.len() {
         let mut candidate = plan.clone();
         candidate.actions.remove(drop_at);
+        out.push(candidate);
+    }
+
+    // 2b. Drop one Master crash.
+    for drop_at in 0..plan.master_crashes.len() {
+        let mut candidate = plan.clone();
+        candidate.master_crashes.remove(drop_at);
         out.push(candidate);
     }
 
@@ -486,6 +535,7 @@ mod tests {
             );
             assert!(plan.faults.scheduled().len() <= limits.max_faults);
             assert!(!plan.actions.is_empty() && plan.actions.len() <= limits.max_actions);
+            assert!(plan.master_crashes.len() <= limits.max_master_crashes);
             // At least two nodes stay crash-free.
             let crashes = plan
                 .faults
@@ -531,6 +581,7 @@ mod tests {
         assert!(fails(&small), "shrunk plan still fails");
         assert_eq!(small.faults.scheduled().len(), 1, "only the crash remains");
         assert!(small.actions.is_empty());
+        assert!(small.master_crashes.is_empty());
         assert!(!small.healing && !small.autoscaler);
         assert_eq!(small.faults.metadata_drop_prob, 0.0);
         assert_eq!(small.faults.transfer_drop_prob, 0.0);

@@ -365,6 +365,9 @@ pub enum AbortClass {
     DeadlineExceeded,
     /// The shipment retry budget ran out.
     RetriesExhausted,
+    /// The Master died mid-migration and its recovery policy gave up
+    /// instead of resuming.
+    MasterCrashed,
 }
 
 impl AbortClass {
@@ -375,6 +378,7 @@ impl AbortClass {
             AbortClass::DestinationCrashed => "destination_crashed",
             AbortClass::DeadlineExceeded => "deadline_exceeded",
             AbortClass::RetriesExhausted => "retries_exhausted",
+            AbortClass::MasterCrashed => "master_crashed",
         }
     }
 }
@@ -464,6 +468,21 @@ pub enum EventKind {
         /// Whether the replacement was warmed before the flip.
         warmed: bool,
     },
+    /// The Master process crashed mid-migration (simulated control-plane
+    /// fault, distinct from a cache-node [`EventKind::NodeCrashed`]).
+    MasterCrashed,
+    /// A restarted Master replayed its journal and resumed an in-flight
+    /// migration inside `phase` (DESIGN.md §13).
+    MigrationResumed {
+        /// The phase the interrupting crash landed in.
+        phase: MigrationPhaseKind,
+    },
+    /// The Master deferred a conflicting scaling request until the job it
+    /// conflicts with drains.
+    ScalingDeferred {
+        /// When the deferred request is retried.
+        until: SimTime,
+    },
 }
 
 impl EventKind {
@@ -487,6 +506,9 @@ impl EventKind {
             EventKind::MigrationPhaseEnd { .. } => "migration_phase_end",
             EventKind::MigrationAborted { .. } => "migration_aborted",
             EventKind::RecoveryCompleted { .. } => "recovery_completed",
+            EventKind::MasterCrashed => "master_crashed",
+            EventKind::MigrationResumed { .. } => "migration_resumed",
+            EventKind::ScalingDeferred { .. } => "scaling_deferred",
         }
     }
 }
@@ -569,6 +591,12 @@ impl Event {
                     None => out.push_str("null"),
                 }
                 let _ = write!(out, ",\"warmed\":{warmed}");
+            }
+            EventKind::MigrationResumed { phase } => {
+                let _ = write!(out, ",\"phase\":\"{}\"", phase.label());
+            }
+            EventKind::ScalingDeferred { until } => {
+                let _ = write!(out, ",\"until_ns\":{}", until.as_nanos());
             }
             _ => {}
         }

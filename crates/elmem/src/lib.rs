@@ -43,6 +43,7 @@
 //!     costs: MigrationCosts::default(),
 //!     faults: FaultPlan::new(),
 //!     healing: None,
+//!     master: Default::default(),
 //!     seed: 42,
 //! };
 //! let result = run_experiment(config);

@@ -42,6 +42,7 @@ fn main() {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed: 7,
         cluster,
     };

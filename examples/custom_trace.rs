@@ -56,6 +56,7 @@ fn main() {
             costs: MigrationCosts::default(),
             faults: FaultPlan::new(),
             healing: None,
+            master: Default::default(),
             seed: 11,
         })
     };

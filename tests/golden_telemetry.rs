@@ -1,4 +1,4 @@
-//! Golden-trace regression suite: two fixed-seed scenarios whose full
+//! Golden-trace regression suite: fixed-seed scenarios whose full
 //! telemetry dumps — event stream, latency histograms, counter series,
 //! per-node rows — must stay **byte-identical** to the checked-in
 //! fixtures under `tests/golden/`. Any change to request scheduling,
@@ -39,6 +39,7 @@ fn config(action: ScaleAction) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed: 11,
     }
 }
@@ -105,6 +106,23 @@ fn scale_in_dump_matches_golden() {
 #[test]
 fn scale_out_dump_matches_golden() {
     check_golden("scale_out.json", &run_dump(ScaleAction::Out { count: 1 }));
+}
+
+#[test]
+fn scale_in_resume_dump_matches_golden() {
+    // The scale-in scenario with the Master crashing 200 ms into the
+    // migration and resuming from the journal — pins the full crash /
+    // restart / resume / commit event sequence (`master_crashed`,
+    // `migration_resumed`) byte-for-byte.
+    let mut cfg = config(ScaleAction::In { count: 1 });
+    cfg.master.crashes = vec![SimTime::from_secs(30) + SimTime::from_millis(200)];
+    let r = run_experiment_with_telemetry(cfg, TelemetryConfig::default());
+    let dump = r.telemetry.to_json();
+    assert!(
+        dump.contains("\"master_crashed\"") && dump.contains("\"migration_resumed\""),
+        "resume scenario must actually crash and resume"
+    );
+    check_golden("scale_in_resume.json", &dump);
 }
 
 #[test]

@@ -30,6 +30,7 @@ fn config(trace: DemandTrace, peak_rate: f64, seed: u64) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed,
         cluster,
     }

@@ -31,6 +31,7 @@ fn config(seed: u64) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed,
     }
 }

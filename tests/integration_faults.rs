@@ -28,6 +28,7 @@ fn config(faults: FaultPlan) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults,
         healing: None,
+        master: Default::default(),
         seed: 2,
     }
 }

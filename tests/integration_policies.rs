@@ -26,6 +26,7 @@ fn config(policy: MigrationPolicy, seed: u64) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed,
     }
 }

@@ -35,6 +35,7 @@ fn config(healing: Option<HealingConfig>) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new().crash(SimTime::from_secs(CRASH_S), NodeId(1)),
         healing,
+        master: Default::default(),
         seed: 2,
     }
 }

@@ -38,6 +38,7 @@ fn crash_config(healing: Option<HealingConfig>) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new().crash(SimTime::from_secs(CRASH_S), NodeId(1)),
         healing,
+        master: Default::default(),
         seed: 2,
     }
 }

@@ -28,6 +28,7 @@ fn config(faults: FaultPlan, seed: u64) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults,
         healing: None,
+        master: Default::default(),
         seed,
     }
 }

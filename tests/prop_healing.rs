@@ -32,6 +32,7 @@ fn config(faults: FaultPlan, healing: HealingConfig, seed: u64) -> ExperimentCon
         costs: MigrationCosts::default(),
         faults,
         healing: Some(healing),
+        master: Default::default(),
         seed,
     }
 }

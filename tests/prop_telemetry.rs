@@ -127,6 +127,7 @@ fn tiny_config(seed: u64) -> ExperimentConfig {
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,
+        master: Default::default(),
         seed,
     }
 }
