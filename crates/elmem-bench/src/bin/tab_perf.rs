@@ -3,7 +3,7 @@
 //! `results/BENCH_perf.json` so future PRs have a perf trajectory to
 //! regress against.
 //!
-//! Two measurements:
+//! Three measurements (schema v2 adds the third):
 //!
 //! * **single cell**: one fixed serving-loop-heavy experiment (steady
 //!   demand, no scaling), timed over several repetitions; the headline is
@@ -16,16 +16,23 @@
 //!   per-cell digests — scaling events, counters, and the full golden
 //!   telemetry dump — must be **byte-identical** between the two, and the
 //!   wall-clock ratio is the reported speedup.
+//! * **multi-thread serving**: real OS threads hammer one shared
+//!   [`ConcurrentSlabStore`] (8 shards, 90% get / 10% set over a prefilled
+//!   keyspace) at 1/2/4/8 threads — the threads-vs-req/s scaling table of
+//!   the sharded store itself (E19). The headline is the best rate's
+//!   speedup over the same run's 1-thread rate.
 //!
 //! `--smoke` runs a seconds-long version for CI: it always asserts
-//! parallel == serial byte-identity, and additionally asserts speedup
-//! ≥ 2× when at least 4 cores are available. A smoke run never reads
-//! from — or overwrites — a full-mode results file; its numbers come
-//! from a shorter workload and are not comparable. Absolute throughput numbers
-//! are machine-dependent; the schema's machine-agnostic fields are the
-//! speedup ratio, the byte-identity bit, and the operation counters.
+//! parallel == serial byte-identity, and additionally asserts sweep
+//! speedup ≥ 2× and serving scaling ≥ 5× when at least 4 cores are
+//! available. A smoke run never reads from — or overwrites — a full-mode
+//! results file; its numbers come from a shorter workload and are not
+//! comparable. Absolute throughput numbers are machine-dependent; the
+//! schema's machine-agnostic fields are the speedup ratios, the
+//! byte-identity bit, and the operation counters.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use elmem_bench::exp::laptop_cluster;
@@ -35,11 +42,21 @@ use elmem_core::{
     run_experiment_with_telemetry, ExperimentConfig, ExperimentResult, FaultPlan, MigrationPolicy,
     ScaleAction,
 };
-use elmem_util::{ByteSize, SimTime, TelemetryConfig};
+use elmem_store::{ConcurrentSlabStore, SizeClasses, StoreConfig};
+use elmem_util::{ByteSize, DetRng, KeyId, SimTime, TelemetryConfig};
 use elmem_workload::{DemandTrace, Keyspace, WorkloadConfig};
 
 const RESULT_PATH: &str = "results/BENCH_perf.json";
-const SCHEMA: &str = "elmem-perf-v1";
+const SCHEMA: &str = "elmem-perf-v2";
+
+/// Shards in the serving benchmark's store — the ceiling on non-contending
+/// threads, matched to the largest thread count measured.
+const MT_SHARDS: usize = 8;
+
+/// Resident keys in the serving benchmark (≈51 MiB of 256 B chunks, far
+/// under the store's memory: the measurement is lock/list cost, not
+/// eviction).
+const MT_KEYS: u64 = 200_000;
 
 /// The fixed single-cell workload: steady demand, no scaling actions, so
 /// the run spends its time in the per-request serving loop (frontend →
@@ -104,6 +121,46 @@ fn sweep_cell(seed: u64, smoke: bool) -> ExperimentConfig {
 
 fn run(cfg: ExperimentConfig) -> ExperimentResult {
     run_experiment_with_telemetry(cfg, TelemetryConfig::default())
+}
+
+/// One serving-scaling cell: `threads` real OS threads each run
+/// `ops_per_thread` operations (90% get / 10% set, uniform keys) against a
+/// shared prefilled [`ConcurrentSlabStore`]. Returns requests per
+/// wall-clock second. Prefill happens outside the timed region.
+fn serving_mt_cell(threads: u64, ops_per_thread: u64) -> f64 {
+    let store = Arc::new(ConcurrentSlabStore::new(StoreConfig {
+        memory: ByteSize::from_mib(128),
+        classes: SizeClasses::new(128, 2.0, 4096),
+        shards: MT_SHARDS,
+    }));
+    for k in 0..MT_KEYS {
+        store
+            .set(KeyId(k), 100, SimTime::from_millis(k))
+            .expect("prefill fits");
+    }
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let mut rng = DetRng::seed(0xBE7C).split_index(t);
+                for i in 0..ops_per_thread {
+                    let key = KeyId(rng.next_below(MT_KEYS));
+                    let now = SimTime::from_millis(MT_KEYS + i);
+                    if rng.next_below(10) == 0 {
+                        let _ = store.set(key, 100, now);
+                    } else {
+                        let _ = store.get(key, now);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("serving worker");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (threads * ops_per_thread) as f64 / wall
 }
 
 /// The canonical per-cell digest the byte-identity assertion compares:
@@ -224,7 +281,27 @@ fn main() {
          (jobs={jobs}, speedup {speedup:.2}x, byte_identical={byte_identical})"
     );
 
-    // -- 3. Emit results/BENCH_perf.json. -----------------------------------
+    // -- 3. Multi-thread serving: the sharded store under real threads. ----
+    let mt_ops = if smoke { 200_000 } else { 1_000_000 };
+    let thread_counts: [u64; 4] = [1, 2, 4, 8];
+    let mut mt_rates: Vec<f64> = Vec::new();
+    for &t in &thread_counts {
+        let rate = serving_mt_cell(t, mt_ops);
+        println!(
+            "serving {t} thread(s) x {mt_ops} ops ({MT_SHARDS} shards): {:.0} req/s",
+            rate
+        );
+        mt_rates.push(rate);
+    }
+    let mt_1t = mt_rates[0];
+    let mt_best = mt_rates.iter().copied().fold(0.0, f64::max);
+    let mt_speedup = mt_best / mt_1t;
+    println!(
+        "serving scaling: best {:.0} req/s = {:.2}x the 1-thread rate\n",
+        mt_best, mt_speedup
+    );
+
+    // -- 4. Emit results/BENCH_perf.json. -----------------------------------
     let mut doc = String::new();
     let _ = write!(
         doc,
@@ -233,6 +310,9 @@ fn main() {
          \"baseline_req_per_sec\":{:.1},\"improvement_pct\":{:.1}}},\
          \"sweep\":{{\"cells\":{n_cells},\"serial_wall_ms\":{:.1},\"parallel_wall_ms\":{:.1},\
          \"speedup\":{:.3},\"byte_identical\":{byte_identical}}},\
+         \"serving_mt\":{{\"shards\":{MT_SHARDS},\"keys\":{MT_KEYS},\"ops_per_thread\":{mt_ops},\
+         \"threads\":[{}],\"req_per_sec\":[{}],\"best_req_per_sec\":{:.1},\
+         \"speedup_vs_1t\":{:.3}}},\
          \"counters\":{{\"store_hits\":{},\"store_misses\":{},\"store_sets\":{},\
          \"store_evictions\":{},\"recorded_events\":{}}}}}",
         if smoke { "smoke" } else { "full" },
@@ -244,6 +324,14 @@ fn main() {
         serial_wall * 1000.0,
         parallel_wall * 1000.0,
         speedup,
+        thread_counts.map(|t| t.to_string()).join(","),
+        mt_rates
+            .iter()
+            .map(|r| format!("{r:.1}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        mt_best,
+        mt_speedup,
         counters.hits,
         counters.misses,
         counters.sets,
@@ -265,7 +353,7 @@ fn main() {
         println!("\nwrote {RESULT_PATH}");
     }
 
-    // -- 4. The claims CI pins. ---------------------------------------------
+    // -- 5. The claims CI pins. ---------------------------------------------
     assert!(
         byte_identical,
         "parallel sweep output must be byte-identical to serial"
@@ -274,6 +362,14 @@ fn main() {
         assert!(
             speedup >= 2.0,
             "sweep speedup {speedup:.2}x below 2x on {cores} cores"
+        );
+    }
+    // The tentpole's serving-scaling claim, guarded like the sweep claim:
+    // meaningless on boxes without the cores to run the threads.
+    if cores >= 4 {
+        assert!(
+            mt_speedup >= 5.0,
+            "serving scaling {mt_speedup:.2}x below 5x on {cores} cores"
         );
     }
     println!(

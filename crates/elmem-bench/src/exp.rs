@@ -49,6 +49,7 @@ pub fn laptop_cluster(initial_nodes: u32) -> ClusterConfig {
         nic_bandwidth: 125_000_000.0,
         nic_latency: SimTime::from_micros(100),
         slab_classes: SizeClasses::new(96, 2.0, ByteSize::PAGE.as_u64()),
+        store_shards: elmem_store::default_shard_count(),
     }
 }
 

@@ -53,6 +53,10 @@ pub struct ClusterConfig {
     /// classes, or most classes can never obtain a page ("slab
     /// calcification") and sets fail.
     pub slab_classes: SizeClasses,
+    /// Shard count for every node's store (the `ELMEM_SHARDS` knob).
+    /// Observable behavior is shard-count-invariant — see DESIGN.md §14 —
+    /// so this only affects real-thread serving parallelism.
+    pub store_shards: usize,
 }
 
 impl ClusterConfig {
@@ -73,6 +77,7 @@ impl ClusterConfig {
             nic_bandwidth: 125_000_000.0,
             nic_latency: SimTime::from_micros(100),
             slab_classes: SizeClasses::memcached_default(),
+            store_shards: elmem_store::default_shard_count(),
         }
     }
 
@@ -95,6 +100,7 @@ impl ClusterConfig {
             nic_latency: SimTime::from_micros(100),
             // 64 pages per node vs ~15 classes: every class can get pages.
             slab_classes: SizeClasses::new(96, 2.0, ByteSize::PAGE.as_u64()),
+            store_shards: elmem_store::default_shard_count(),
         }
     }
 
@@ -115,6 +121,7 @@ impl ClusterConfig {
             nic_latency: SimTime::from_micros(100),
             // 4 pages per node: keep the ladder tiny (~8 classes).
             slab_classes: SizeClasses::new(96, 4.0, ByteSize::PAGE.as_u64()),
+            store_shards: elmem_store::default_shard_count(),
         }
     }
 

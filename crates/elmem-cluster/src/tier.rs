@@ -40,6 +40,7 @@ impl CacheTier {
                         StoreConfig {
                             memory: config.node_memory,
                             classes: config.slab_classes.clone(),
+                            shards: config.store_shards,
                         },
                         config.nic_bandwidth,
                         config.nic_latency,
@@ -150,6 +151,7 @@ impl CacheTier {
                     StoreConfig {
                         memory: self.config.node_memory,
                         classes: self.config.slab_classes.clone(),
+                        shards: self.config.store_shards,
                     },
                     self.config.nic_bandwidth,
                     self.config.nic_latency,

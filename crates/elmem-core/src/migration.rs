@@ -19,7 +19,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use elmem_cluster::{CacheNode, CacheTier};
 use elmem_hash::HashRing;
 use elmem_sim::fault::FaultInjector;
-use elmem_store::{ClassId, Hotness, ImportMode, ItemMeta, KEY_BYTES, TIMESTAMP_BYTES};
+use elmem_store::{
+    ClassDump, ClassId, Hotness, ImportMode, ItemMeta, MetadataDump, KEY_BYTES, TIMESTAMP_BYTES,
+};
 use elmem_util::par::par_map_indexed;
 use elmem_util::{ByteSize, ElmemError, NodeId, SimTime};
 use serde::{Deserialize, Serialize};
@@ -530,15 +532,42 @@ struct RoutedSource {
 }
 
 /// Dumps every retiring source and hashes each item against the retained
-/// ring — the pure part of phase 1 (§III-D1), parallel over sources.
+/// ring — the pure part of phase 1 (§III-D1). The dump fan-out is
+/// per-(source, **shard**), not per-source: a handful of large retiring
+/// nodes still saturate every job, and the per-shard dumps are merged
+/// back into each source's canonical dump (byte-identical to an unsharded
+/// `dump_metadata`, DESIGN.md §14) before routing, so the plan is
+/// invariant in both the shard count and the job count.
 fn route_sources(
     tier: &CacheTier,
     retiring: &[NodeId],
     retained_ring: &HashRing,
     jobs: usize,
 ) -> Result<Vec<RoutedSource>, ElmemError> {
-    par_map_indexed(jobs, retiring, |_, &src| {
-        let dump = live_node(tier, src)?.store.dump_metadata();
+    // Phase 1a: one dump job per (retiring source, shard).
+    let mut shard_jobs: Vec<(NodeId, usize)> = Vec::new();
+    for &src in retiring {
+        for si in 0..live_node(tier, src)?.store.shard_count() {
+            shard_jobs.push((src, si));
+        }
+    }
+    let parts: Vec<Vec<ClassDump>> = par_map_indexed(jobs, &shard_jobs, |_, &(src, si)| {
+        Ok(live_node(tier, src)?.store.dump_shard_classes(si))
+    })
+    .into_iter()
+    .collect::<Result<_, ElmemError>>()?;
+    // Phase 1b: reassemble each source's canonical dump from its shard
+    // slices, then hash it against the retained ring, parallel over
+    // sources.
+    let mut dumps: Vec<MetadataDump> = Vec::with_capacity(retiring.len());
+    let mut cursor = 0;
+    for &src in retiring {
+        let store = &live_node(tier, src)?.store;
+        let n = store.shard_count();
+        dumps.push(store.merge_shard_dumps(&parts[cursor..cursor + n]));
+        cursor += n;
+    }
+    par_map_indexed(jobs, &dumps, |_, dump| {
         let n_items = dump.total_items();
         let mut per_target: HashMap<(NodeId, ClassId), Vec<ItemMeta>> = HashMap::new();
         for class_dump in &dump.classes {

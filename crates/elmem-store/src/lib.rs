@@ -31,13 +31,19 @@
 //! ```
 
 pub mod classes;
+pub mod concurrent;
 pub mod dump;
 pub mod item;
 pub mod rebalance;
+mod shard;
 pub mod store;
 
 pub use classes::{ClassId, SizeClasses};
+pub use concurrent::ConcurrentSlabStore;
 pub use dump::{ClassDump, MetadataDump};
 pub use item::{Hotness, ItemMeta, ITEM_OVERHEAD_BYTES, KEY_BYTES, TIMESTAMP_BYTES};
 pub use rebalance::RebalanceHint;
-pub use store::{ImportMode, SlabStore, StoreConfig, StoreStats};
+pub use store::{
+    default_shard_count, ImportMode, SlabStore, StoreConfig, StoreStats, ELMEM_SHARDS_ENV,
+    MAX_SHARDS,
+};

@@ -80,6 +80,7 @@ mod tests {
         SlabStore::new(StoreConfig {
             memory: ByteSize::from_mib(2),
             classes: SizeClasses::new(128, 8.0, 1024),
+            shards: crate::store::default_shard_count(),
         })
     }
 

@@ -1,14 +1,47 @@
-//! The slab store: pages, chunks, MRU lists, LRU eviction.
+//! The slab store: pages, chunks, MRU lists, LRU eviction — sharded.
+//!
+//! Since PR 8 the store body is split into N independent [`Shard`]s (key →
+//! shard via the same SplitMix64 finalizer the index hashes with). This
+//! serial facade drives them one op at a time and stays **byte-identical to
+//! the unsharded store at any shard count**: every MRU link carries a stamp
+//! from a global monotone LRU clock, so the global MRU order of a class is
+//! the k-way merge of its shard lists by descending stamp (see
+//! `shard.rs` and DESIGN.md §14). The [`ConcurrentSlabStore`] facade in
+//! `concurrent.rs` drives the same shards from real threads.
+//!
+//! [`ConcurrentSlabStore`]: crate::ConcurrentSlabStore
 
-use elmem_util::hashutil::FastIntMap;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
 use elmem_util::{ByteSize, ElmemError, KeyId, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::classes::{ClassId, SizeClasses};
 use crate::dump::{ClassDump, MetadataDump};
 use crate::item::{item_footprint, Hotness, ItemMeta};
+use crate::shard::{shard_of, Shard, NIL};
 
-const NIL: u32 = u32::MAX;
+/// Environment variable overriding the default shard count
+/// ([`default_shard_count`]). CI runs the suite with `ELMEM_SHARDS=1` and
+/// `ELMEM_SHARDS=8` to prove shard-count invariance end to end.
+pub const ELMEM_SHARDS_ENV: &str = "ELMEM_SHARDS";
+
+/// Upper bound on the shard count (configs clamp to it).
+pub const MAX_SHARDS: usize = 64;
+
+const DEFAULT_SHARDS: usize = 4;
+
+/// The shard count configs use unless told otherwise: the
+/// [`ELMEM_SHARDS_ENV`] variable if set (clamped to `1..=`[`MAX_SHARDS`]),
+/// else 4. Every observable output is shard-count-invariant, so the knob
+/// trades nothing but memory layout and concurrent-facade parallelism.
+pub fn default_shard_count() -> usize {
+    std::env::var(ELMEM_SHARDS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, MAX_SHARDS))
+        .unwrap_or(DEFAULT_SHARDS)
+}
 
 /// Configuration for a [`SlabStore`].
 ///
@@ -27,14 +60,20 @@ pub struct StoreConfig {
     pub memory: ByteSize,
     /// The slab size-class ladder.
     pub classes: SizeClasses,
+    /// Number of independent shards (clamped to `1..=`[`MAX_SHARDS`]).
+    /// Purely a layout/concurrency knob: all observable output is
+    /// byte-identical at any value.
+    pub shards: usize,
 }
 
 impl StoreConfig {
-    /// Config with the given memory and Memcached's default class ladder.
+    /// Config with the given memory, Memcached's default class ladder, and
+    /// the [`default_shard_count`].
     pub fn with_memory(memory: ByteSize) -> Self {
         StoreConfig {
             memory,
             classes: SizeClasses::memcached_default(),
+            shards: default_shard_count(),
         }
     }
 }
@@ -103,146 +142,132 @@ impl StoreStats {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Slot {
-    item: Option<ItemMeta>,
-    prev: u32,
-    next: u32,
-}
-
 /// Memoized result of [`SlabStore::median_hotness`], invalidated by the
 /// class's MRU-list version counter.
 ///
 /// The Master's §III-C scoring crawls every class's median once per
 /// decision round; between rounds most classes have not changed, so the
-/// O(n/2) list walk is paid once per *mutation epoch* instead of once per
-/// probe. A `Mutex` (never contended: one lock per cache probe, no
-/// blocking inside) rather than a `Cell` keeps the store `Sync`, which the
-/// parallel migration planner relies on to share `&CacheTier` across
-/// worker threads.
+/// O(n/2) walk is paid once per *mutation epoch* instead of once per
+/// probe. Unlike the PR 5 version this holds no `Mutex`: it is a seqlock
+/// of plain atomics, so probing it on the serial path takes no lock at
+/// all, and the store stays `Sync` for the parallel planner. A writer that
+/// loses the (never-in-practice) CAS race simply skips the memo — the
+/// cache is an optimization, never an authority.
 #[derive(Debug, Default)]
-struct MedianCache(std::sync::Mutex<Option<(u64, Option<Hotness>)>>);
+pub(crate) struct MedianCache {
+    /// Seqlock word: odd = write in progress, readers retry-as-miss.
+    seq: AtomicU64,
+    /// The class version the payload was computed at.
+    version: AtomicU64,
+    ts: AtomicU64,
+    tiebreak: AtomicU64,
+    /// 0 = never written, 1 = cached `None`, 2 = cached `Some(ts, tiebreak)`.
+    state: AtomicU64,
+}
+
+const MEDIAN_EMPTY: u64 = 0;
+const MEDIAN_NONE: u64 = 1;
+const MEDIAN_SOME: u64 = 2;
 
 impl MedianCache {
     fn get(&self, version: u64) -> Option<Option<Hotness>> {
-        let cached = self.0.lock().expect("median cache lock");
-        match *cached {
-            Some((v, median)) if v == version => Some(median),
-            _ => None,
+        let s1 = self.seq.load(SeqCst);
+        if s1 & 1 != 0 {
+            return None;
         }
+        let v = self.version.load(SeqCst);
+        let ts = self.ts.load(SeqCst);
+        let tiebreak = self.tiebreak.load(SeqCst);
+        let state = self.state.load(SeqCst);
+        if self.seq.load(SeqCst) != s1 || state == MEDIAN_EMPTY || v != version {
+            return None;
+        }
+        Some((state == MEDIAN_SOME).then_some(Hotness { ts, tiebreak }))
     }
 
     fn put(&self, version: u64, median: Option<Hotness>) {
-        *self.0.lock().expect("median cache lock") = Some((version, median));
+        let s = self.seq.load(SeqCst);
+        if s & 1 != 0 {
+            return; // another writer is mid-flight; skip the memo
+        }
+        if self.seq.compare_exchange(s, s + 1, SeqCst, SeqCst).is_err() {
+            return;
+        }
+        self.version.store(version, SeqCst);
+        if let Some(h) = median {
+            self.ts.store(h.ts, SeqCst);
+            self.tiebreak.store(h.tiebreak, SeqCst);
+            self.state.store(MEDIAN_SOME, SeqCst);
+        } else {
+            self.state.store(MEDIAN_NONE, SeqCst);
+        }
+        self.seq.store(s + 2, SeqCst);
     }
 }
 
 impl Clone for MedianCache {
+    /// Snapshots the payload (an independent copy: mutating either store
+    /// afterwards never disturbs the other's memo). A torn read degrades
+    /// to a fresh empty cache.
     fn clone(&self) -> Self {
-        MedianCache(std::sync::Mutex::new(
-            *self.0.lock().expect("median cache lock"),
-        ))
+        let fresh = MedianCache::default();
+        let s1 = self.seq.load(SeqCst);
+        if s1 & 1 != 0 {
+            return fresh;
+        }
+        let version = self.version.load(SeqCst);
+        let ts = self.ts.load(SeqCst);
+        let tiebreak = self.tiebreak.load(SeqCst);
+        let state = self.state.load(SeqCst);
+        if self.seq.load(SeqCst) != s1 {
+            return fresh;
+        }
+        fresh.version.store(version, SeqCst);
+        fresh.ts.store(ts, SeqCst);
+        fresh.tiebreak.store(tiebreak, SeqCst);
+        fresh.state.store(state, SeqCst);
+        fresh
     }
 }
 
+/// Facade-level accounting for one size class, spanning all shards.
+///
+/// Capacity is *virtual*: the facade grants pages to a class as a budget
+/// (`capacity = pages × chunks_per_page`) and shard slot arenas grow
+/// lazily against it — which physical page a chunk lives on is not
+/// modeled (DESIGN.md §14, non-goals).
 #[derive(Debug, Clone)]
-struct ClassState {
-    chunks_per_page: u64,
-    slots: Vec<Slot>,
-    free: Vec<u32>,
-    head: u32,
-    tail: u32,
-    len: u64,
-    pages: u64,
-    bytes_used: u64,
+pub(crate) struct ClassMeta {
+    pub chunks_per_page: u64,
+    /// Pages granted to this class.
+    pub pages: u64,
+    /// Resident items across all shards of this class.
+    pub len: u64,
     /// Evictions + allocation failures since the pressure counter was last
     /// read (drives the slab rebalancer's recipient choice).
-    pressure: u64,
-    /// Bumped on every MRU-list mutation (link/unlink); all list surgery
-    /// funnels through `unlink`/`push_front`/`push_back`, so a stale
-    /// version is proof the list — and its median — is unchanged.
-    /// (`move_slot` relocates a chunk without reordering the list, so it
-    /// does not bump.)
-    version: u64,
+    pub pressure: u64,
+    /// Bumped on every MRU-list mutation in any shard of this class; a
+    /// stale version is proof the class — and its median — is unchanged.
+    pub version: u64,
     /// Version-stamped memo of the class's median hotness.
-    median: MedianCache,
+    pub median: MedianCache,
 }
 
-impl ClassState {
+impl ClassMeta {
     fn new(chunks_per_page: u64) -> Self {
-        ClassState {
+        ClassMeta {
             chunks_per_page,
-            slots: Vec::new(),
-            free: Vec::new(),
-            head: NIL,
-            tail: NIL,
-            len: 0,
             pages: 0,
-            bytes_used: 0,
+            len: 0,
             pressure: 0,
             version: 0,
             median: MedianCache::default(),
         }
     }
 
-    fn unlink(&mut self, idx: u32) {
-        self.version += 1;
-        let (prev, next) = {
-            let s = &self.slots[idx as usize];
-            (s.prev, s.next)
-        };
-        if prev != NIL {
-            self.slots[prev as usize].next = next;
-        } else {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slots[next as usize].prev = prev;
-        } else {
-            self.tail = prev;
-        }
-        self.slots[idx as usize].prev = NIL;
-        self.slots[idx as usize].next = NIL;
-    }
-
-    fn push_front(&mut self, idx: u32) {
-        self.version += 1;
-        self.slots[idx as usize].prev = NIL;
-        self.slots[idx as usize].next = self.head;
-        if self.head != NIL {
-            self.slots[self.head as usize].prev = idx;
-        }
-        self.head = idx;
-        if self.tail == NIL {
-            self.tail = idx;
-        }
-    }
-
-    fn push_back(&mut self, idx: u32) {
-        self.version += 1;
-        self.slots[idx as usize].next = NIL;
-        self.slots[idx as usize].prev = self.tail;
-        if self.tail != NIL {
-            self.slots[self.tail as usize].next = idx;
-        }
-        self.tail = idx;
-        if self.head == NIL {
-            self.head = idx;
-        }
-    }
-
-    /// Adds one page worth of empty chunks.
-    fn add_page(&mut self) {
-        let start = self.slots.len() as u32;
-        for i in 0..self.chunks_per_page {
-            self.slots.push(Slot {
-                item: None,
-                prev: NIL,
-                next: NIL,
-            });
-            self.free.push(start + i as u32);
-        }
-        self.pages += 1;
+    /// Chunks this class may hold under its current page grant.
+    pub fn capacity(&self) -> u64 {
+        self.pages * self.chunks_per_page
     }
 }
 
@@ -250,19 +275,19 @@ impl ClassState {
 ///
 /// See the [crate-level documentation](crate) for the model. All operations
 /// take the current simulated time explicitly; the store has no internal
-/// clock.
+/// clock. This is the deterministic *serial* facade over the shards; for
+/// real-thread serving see [`ConcurrentSlabStore`](crate::ConcurrentSlabStore).
 #[derive(Debug, Clone)]
 pub struct SlabStore {
-    classes: SizeClasses,
-    class_states: Vec<ClassState>,
-    // Keyed lookups run once per simulated request item, so the index uses
-    // the deterministic integer hasher rather than SipHash: several times
-    // cheaper on u64 keys, and placement is identical across runs and
-    // platforms (std's RandomState is neither).
-    index: FastIntMap<KeyId, (u16, u32)>,
-    pages_total: u64,
-    pages_used: u64,
-    stats: StoreStats,
+    pub(crate) classes: SizeClasses,
+    pub(crate) n_shards: u32,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) class_meta: Vec<ClassMeta>,
+    pub(crate) pages_total: u64,
+    pub(crate) pages_used: u64,
+    /// Global monotone LRU clock; every MRU link is stamped from it.
+    pub(crate) lru_clock: u64,
+    pub(crate) stats: StoreStats,
 }
 
 impl SlabStore {
@@ -274,17 +299,21 @@ impl SlabStore {
     pub fn new(config: StoreConfig) -> Self {
         let pages_total = config.memory.as_u64() / ByteSize::PAGE.as_u64();
         assert!(pages_total > 0, "store memory below one 1MB page");
-        let class_states = config
+        let n_shards = config.shards.clamp(1, MAX_SHARDS) as u32;
+        let n_classes = config.classes.len();
+        let class_meta = config
             .classes
             .ids()
-            .map(|id| ClassState::new(config.classes.chunks_per_page(id)))
+            .map(|id| ClassMeta::new(config.classes.chunks_per_page(id)))
             .collect();
         SlabStore {
             classes: config.classes,
-            class_states,
-            index: FastIntMap::default(),
+            n_shards,
+            shards: (0..n_shards).map(|_| Shard::new(n_classes)).collect(),
+            class_meta,
             pages_total,
             pages_used: 0,
+            lru_clock: 0,
             stats: StoreStats::default(),
         }
     }
@@ -292,6 +321,11 @@ impl SlabStore {
     /// The size-class ladder in use.
     pub fn classes(&self) -> &SizeClasses {
         &self.classes
+    }
+
+    /// Number of shards the store body is split into.
+    pub fn shard_count(&self) -> usize {
+        self.n_shards as usize
     }
 
     /// Total pages of memory this store may use.
@@ -306,27 +340,33 @@ impl SlabStore {
 
     /// Pages assigned to one class.
     pub fn pages_of_class(&self, id: ClassId) -> u64 {
-        self.class_states[id.0 as usize].pages
+        self.class_meta[id.0 as usize].pages
     }
 
     /// Number of items resident in one class.
     pub fn len_of_class(&self, id: ClassId) -> u64 {
-        self.class_states[id.0 as usize].len
+        self.class_meta[id.0 as usize].len
     }
 
     /// Total resident items.
     pub fn len(&self) -> u64 {
-        self.index.len() as u64
+        self.class_meta.iter().map(|m| m.len).sum()
     }
 
     /// Whether the store holds no items.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len() == 0
     }
 
     /// Bytes of item payload currently resident (footprints, not chunks).
     pub fn bytes_used(&self) -> ByteSize {
-        ByteSize(self.class_states.iter().map(|c| c.bytes_used).sum())
+        ByteSize(
+            self.shards
+                .iter()
+                .flat_map(|sh| sh.lists.iter())
+                .map(|l| l.bytes_used)
+                .sum(),
+        )
     }
 
     /// Operation counters.
@@ -340,8 +380,14 @@ impl SlabStore {
         let used = self.pages_used.max(1) as f64;
         self.classes
             .ids()
-            .map(|id| (id, self.class_states[id.0 as usize].pages as f64 / used))
+            .map(|id| (id, self.class_meta[id.0 as usize].pages as f64 / used))
             .collect()
+    }
+
+    /// The next LRU-clock stamp (strictly increasing).
+    fn next_seq(&mut self) -> u64 {
+        self.lru_clock += 1;
+        self.lru_clock
     }
 
     /// Looks up a key, refreshing its MRU position and timestamp on hit.
@@ -349,26 +395,19 @@ impl SlabStore {
     /// An item whose TTL has elapsed is reclaimed lazily here and reported
     /// as a miss (Memcached's lazy-expiry semantics).
     pub fn get(&mut self, key: KeyId, now: SimTime) -> Option<ItemMeta> {
-        match self.index.get(&key).copied() {
+        let si = shard_of(key, self.n_shards);
+        match self.shards[si].index.get(&key).copied() {
             Some((class, idx)) => {
-                if self.class_states[class as usize].slots[idx as usize]
-                    .item
-                    .expect("indexed slot is occupied")
-                    .is_expired(now)
-                {
+                if self.shards[si].item(class, idx).is_expired(now) {
                     self.remove_entry(key);
                     self.stats.expired += 1;
                     self.stats.misses += 1;
                     return None;
                 }
                 self.stats.hits += 1;
-                let state = &mut self.class_states[class as usize];
-                state.unlink(idx);
-                state.push_front(idx);
-                let item = state.slots[idx as usize]
-                    .item
-                    .as_mut()
-                    .expect("indexed slot is occupied");
+                let seq = self.next_seq();
+                self.class_meta[class as usize].version += 1;
+                let item = self.shards[si].relink_front(class, idx, seq);
                 item.last_access = now;
                 Some(*item)
             }
@@ -381,13 +420,16 @@ impl SlabStore {
 
     /// Looks up a key without disturbing MRU order or counters.
     pub fn peek(&self, key: KeyId) -> Option<ItemMeta> {
-        let (class, idx) = self.index.get(&key).copied()?;
-        self.class_states[class as usize].slots[idx as usize].item
+        let sh = &self.shards[shard_of(key, self.n_shards)];
+        let (class, idx) = sh.index.get(&key).copied()?;
+        sh.lists[class as usize].slots[idx as usize].item
     }
 
     /// Whether a key is resident.
     pub fn contains(&self, key: KeyId) -> bool {
-        self.index.contains_key(&key)
+        self.shards[shard_of(key, self.n_shards)]
+            .index
+            .contains_key(&key)
     }
 
     /// Inserts or updates a key, moving it to the MRU head.
@@ -496,21 +538,20 @@ impl SlabStore {
                 max_chunk_bytes: self.classes.max_chunk(),
             })?;
 
-        if let Some((old_class, idx)) = self.index.get(&key).copied() {
+        let si = shard_of(key, self.n_shards);
+        if let Some((old_class, idx)) = self.shards[si].index.get(&key).copied() {
             if old_class == class.0 {
                 // Update in place.
-                let state = &mut self.class_states[old_class as usize];
-                state.unlink(idx);
-                state.push_front(idx);
-                let item = state.slots[idx as usize]
-                    .item
-                    .as_mut()
-                    .expect("indexed slot is occupied");
-                state.bytes_used -= item.footprint();
+                let seq = self.next_seq();
+                self.class_meta[old_class as usize].version += 1;
+                let sh = &mut self.shards[si];
+                let old_footprint = sh.item(old_class, idx).footprint();
+                let item = sh.relink_front(old_class, idx, seq);
                 item.value_size = value_size;
                 item.last_access = now;
                 item.expires = expires;
-                state.bytes_used += footprint;
+                let list = &mut sh.lists[old_class as usize];
+                list.bytes_used = list.bytes_used - old_footprint + footprint;
                 self.stats.sets += 1;
                 return Ok(());
             }
@@ -518,18 +559,21 @@ impl SlabStore {
             self.remove_entry(key);
         }
 
-        let idx = self.alloc_slot(class)?;
-        let state = &mut self.class_states[class.0 as usize];
-        state.slots[idx as usize].item = Some(ItemMeta {
-            key,
-            value_size,
-            last_access: now,
-            expires,
-        });
-        state.push_front(idx);
-        state.len += 1;
-        state.bytes_used += footprint;
-        self.index.insert(key, (class.0, idx));
+        self.secure_chunk_or_evict(class)?;
+        let seq = self.next_seq();
+        let meta = &mut self.class_meta[class.0 as usize];
+        meta.len += 1;
+        meta.version += 1;
+        self.shards[si].insert_front(
+            class.0,
+            ItemMeta {
+                key,
+                value_size,
+                last_access: now,
+                expires,
+            },
+            seq,
+        );
         self.stats.sets += 1;
         Ok(())
     }
@@ -539,8 +583,9 @@ impl SlabStore {
     /// `None` if the key is absent or already expired.
     pub fn touch(&mut self, key: KeyId, now: SimTime, ttl: SimTime) -> Option<ItemMeta> {
         self.get(key, now)?;
-        let (class, idx) = self.index.get(&key).copied()?;
-        let item = self.class_states[class as usize].slots[idx as usize]
+        let si = shard_of(key, self.n_shards);
+        let (class, idx) = self.shards[si].index.get(&key).copied()?;
+        let item = self.shards[si].lists[class as usize].slots[idx as usize]
             .item
             .as_mut()
             .expect("indexed slot is occupied");
@@ -551,7 +596,11 @@ impl SlabStore {
     /// Drops every item (Memcached's `flush_all`), keeping page
     /// assignments (real Memcached never returns pages either).
     pub fn flush_all(&mut self) {
-        let keys: Vec<KeyId> = self.index.keys().copied().collect();
+        let keys: Vec<KeyId> = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.index.keys().copied())
+            .collect();
         for key in keys {
             self.remove_entry(key);
             self.stats.deletes += 1;
@@ -562,14 +611,33 @@ impl SlabStore {
     /// paper's timestamp-dump patch, §V-A1): walks each class from the
     /// cold end reclaiming expired items, visiting at most `budget` items
     /// in total. Returns the number reclaimed.
+    ///
+    /// The cold-to-hot order is the ascending-stamp merge of the shard
+    /// lists — exactly the unsharded store's tail walk.
     pub fn crawl_expired(&mut self, now: SimTime, budget: u64) -> u64 {
         let mut visited = 0u64;
         let mut reclaimed = 0u64;
-        let class_ids: Vec<ClassId> = self.classes.ids().collect();
-        for class in class_ids {
-            let mut cursor = self.class_states[class.0 as usize].tail;
-            while cursor != NIL && visited < budget {
-                let slot = &self.class_states[class.0 as usize].slots[cursor as usize];
+        'classes: for ci in 0..self.class_meta.len() {
+            // Per-shard cursors start at the tails and walk toward the
+            // heads; each step visits the globally coldest unvisited item.
+            let mut cursors: Vec<u32> = self.shards.iter().map(|sh| sh.lists[ci].tail).collect();
+            loop {
+                if visited >= budget {
+                    break 'classes;
+                }
+                let mut coldest: Option<(usize, u64)> = None;
+                for (si, &cur) in cursors.iter().enumerate() {
+                    if cur == NIL {
+                        continue;
+                    }
+                    let seq = self.shards[si].lists[ci].slots[cur as usize].seq;
+                    if coldest.is_none_or(|(_, s)| seq < s) {
+                        coldest = Some((si, seq));
+                    }
+                }
+                let Some((si, _)) = coldest else { break };
+                let cur = cursors[si];
+                let slot = &self.shards[si].lists[ci].slots[cur as usize];
                 let item = slot.item.expect("linked slot is occupied");
                 let prev = slot.prev;
                 visited += 1;
@@ -578,10 +646,7 @@ impl SlabStore {
                     self.stats.expired += 1;
                     reclaimed += 1;
                 }
-                cursor = prev;
-            }
-            if visited >= budget {
-                break;
+                cursors[si] = prev;
             }
         }
         reclaimed
@@ -597,98 +662,89 @@ impl SlabStore {
     }
 
     fn remove_entry(&mut self, key: KeyId) -> Option<ItemMeta> {
-        let (class, idx) = self.index.remove(&key)?;
-        let state = &mut self.class_states[class as usize];
-        state.unlink(idx);
-        let item = state.slots[idx as usize]
-            .item
-            .take()
-            .expect("indexed slot is occupied");
-        state.free.push(idx);
-        state.len -= 1;
-        state.bytes_used -= item.footprint();
+        let si = shard_of(key, self.n_shards);
+        let (class, item) = self.shards[si].remove(key)?;
+        let meta = &mut self.class_meta[class as usize];
+        meta.len -= 1;
+        meta.version += 1;
         Some(item)
     }
 
-    /// Evicts the LRU tail of `class`. Returns the evicted item, or `None`
-    /// if the class is empty.
+    /// Evicts the LRU tail of `class` — the globally coldest item, i.e.
+    /// the minimum stamp across the shard tails. Returns the evicted item,
+    /// or `None` if the class is empty.
     pub fn evict_lru(&mut self, class: ClassId) -> Option<ItemMeta> {
-        let tail = self.class_states[class.0 as usize].tail;
-        if tail == NIL {
-            return None;
+        let ci = class.0 as usize;
+        let mut coldest: Option<(KeyId, u64)> = None;
+        for sh in &self.shards {
+            if let Some((key, seq)) = sh.tail_entry(class.0) {
+                if coldest.is_none_or(|(_, s)| seq < s) {
+                    coldest = Some((key, seq));
+                }
+            }
         }
-        let key = self.class_states[class.0 as usize].slots[tail as usize]
-            .item
-            .as_ref()
-            .expect("tail slot is occupied")
-            .key;
+        let (key, _) = coldest?;
         let item = self.remove_entry(key);
         self.stats.evictions += 1;
-        self.class_states[class.0 as usize].pressure += 1;
+        self.class_meta[ci].pressure += 1;
         item
     }
 
-    fn alloc_slot(&mut self, class: ClassId) -> Result<u32, ElmemError> {
-        let ci = class.0 as usize;
-        if let Some(idx) = self.class_states[ci].free.pop() {
-            return Ok(idx);
+    /// Secures capacity for one more chunk in `class` without evicting:
+    /// true if the class is under its capacity (a freed chunk exists
+    /// somewhere) or a fresh page could be granted.
+    fn secure_chunk(&mut self, class: ClassId) -> bool {
+        let meta = &self.class_meta[class.0 as usize];
+        if meta.len < meta.capacity() {
+            return true;
         }
         if self.pages_used < self.pages_total {
-            self.class_states[ci].add_page();
+            self.class_meta[class.0 as usize].pages += 1;
             self.pages_used += 1;
-            return Ok(self.class_states[ci]
-                .free
-                .pop()
-                .expect("fresh page provides free chunks"));
+            return true;
         }
-        // Evict from the same class (Memcached semantics).
+        false
+    }
+
+    /// [`secure_chunk`](Self::secure_chunk), falling back to evicting the
+    /// class's LRU item (Memcached semantics: eviction never crosses
+    /// classes).
+    fn secure_chunk_or_evict(&mut self, class: ClassId) -> Result<(), ElmemError> {
+        if self.secure_chunk(class) {
+            return Ok(());
+        }
         if self.evict_lru(class).is_some() {
-            return Ok(self.class_states[ci]
-                .free
-                .pop()
-                .expect("eviction frees a chunk"));
+            return Ok(());
         }
-        self.class_states[ci].pressure += 1;
+        self.class_meta[class.0 as usize].pressure += 1;
         Err(ElmemError::OutOfMemory)
     }
 
-    /// Like [`Self::alloc_slot`] but never evicts; `None` when the class is
-    /// at capacity and no free pages remain.
-    fn alloc_slot_no_evict(&mut self, class: ClassId) -> Option<u32> {
-        let ci = class.0 as usize;
-        if let Some(idx) = self.class_states[ci].free.pop() {
-            return Some(idx);
-        }
-        if self.pages_used < self.pages_total {
-            self.class_states[ci].add_page();
-            self.pages_used += 1;
-            return self.class_states[ci].free.pop();
-        }
-        None
-    }
-
-    /// Free chunks currently available in a class.
+    /// Free chunks currently available in a class (capacity not yet
+    /// occupied).
     pub fn free_chunks_of_class(&self, id: ClassId) -> u64 {
-        self.class_states[id.0 as usize].free.len() as u64
+        let meta = &self.class_meta[id.0 as usize];
+        meta.capacity() - meta.len
     }
 
     /// Eviction/allocation-failure pressure accumulated by a class since
     /// the counters were last reset (see the `rebalance` module).
     pub fn eviction_pressure(&self, id: ClassId) -> u64 {
-        self.class_states[id.0 as usize].pressure
+        self.class_meta[id.0 as usize].pressure
     }
 
     /// Resets all per-class pressure counters.
     pub fn reset_eviction_pressure(&mut self) {
-        for state in &mut self.class_states {
-            state.pressure = 0;
+        for meta in &mut self.class_meta {
+            meta.pressure = 0;
         }
     }
 
-    /// Moves one page of chunks from class `from` to class `to`
-    /// (Memcached's slab rebalancer). The donor evicts its coldest items to
-    /// vacate one page's worth of chunks; survivors are compacted so the
-    /// physical page can be handed over.
+    /// Moves one page of chunk *capacity* from class `from` to class `to`
+    /// (Memcached's slab rebalancer). The donor evicts its coldest items
+    /// until it fits in one page less; the recipient's budget grows by a
+    /// page. Chunks are virtual (DESIGN.md §14), so no physical compaction
+    /// happens.
     ///
     /// Returns the number of items evicted from the donor.
     ///
@@ -702,102 +758,52 @@ impl SlabStore {
                 "cannot reassign a page to the same class".to_string(),
             ));
         }
-        if self.class_states[from.0 as usize].pages == 0 {
+        let fi = from.0 as usize;
+        if self.class_meta[fi].pages == 0 {
             return Err(ElmemError::InvalidScaling(format!(
                 "{from} has no page to donate"
             )));
         }
-        let cpp = self.class_states[from.0 as usize].chunks_per_page;
-        // 1. Evict the donor's coldest items until one page's worth of
-        //    chunks is free.
+        // Evict the donor's coldest items until one page's worth of its
+        // capacity is unoccupied.
+        let target = (self.class_meta[fi].pages - 1) * self.class_meta[fi].chunks_per_page;
         let mut evicted = 0u64;
-        while (self.class_states[from.0 as usize].free.len() as u64) < cpp {
+        while self.class_meta[fi].len > target {
             if self.evict_lru(from).is_none() {
                 break;
             }
             evicted += 1;
         }
-        // 2. Compact: relocate survivors out of the last page's slot range.
-        let fi = from.0 as usize;
-        let cutoff = self.class_states[fi].slots.len() - cpp as usize;
-        // Free slots below the cutoff are the relocation targets.
-        let mut targets: Vec<u32> = self.class_states[fi]
-            .free
-            .iter()
-            .copied()
-            .filter(|&i| (i as usize) < cutoff)
-            .collect();
-        for idx in cutoff as u32..self.class_states[fi].slots.len() as u32 {
-            if self.class_states[fi].slots[idx as usize].item.is_none() {
-                continue;
-            }
-            let dest = targets.pop().expect("enough free slots below cutoff");
-            self.move_slot(from, idx, dest);
-        }
-        // 3. Shrink the donor and grow the recipient.
-        {
-            let state = &mut self.class_states[fi];
-            state.free.retain(|&i| (i as usize) < cutoff);
-            state.slots.truncate(cutoff);
-            state.pages -= 1;
-        }
+        self.class_meta[fi].pages -= 1;
         self.pages_used -= 1;
-        // Recipient takes the page (add_page bumps its page count).
-        self.class_states[to.0 as usize].add_page();
+        self.class_meta[to.0 as usize].pages += 1;
         self.pages_used += 1;
         Ok(evicted)
     }
 
-    /// Moves an occupied slot to a free slot within the same class,
-    /// preserving its MRU position.
-    fn move_slot(&mut self, class: ClassId, src: u32, dst: u32) {
-        let ci = class.0 as usize;
-        // Remove dst from the free list (the caller popped it from a copy).
-        self.class_states[ci].free.retain(|&i| i != dst);
-        let (item, prev, next) = {
-            let slot = &self.class_states[ci].slots[src as usize];
-            (
-                slot.item.expect("source slot is occupied"),
-                slot.prev,
-                slot.next,
-            )
-        };
-        {
-            let state = &mut self.class_states[ci];
-            state.slots[dst as usize].item = Some(item);
-            state.slots[dst as usize].prev = prev;
-            state.slots[dst as usize].next = next;
-            if prev != NIL {
-                state.slots[prev as usize].next = dst;
-            } else {
-                state.head = dst;
-            }
-            if next != NIL {
-                state.slots[next as usize].prev = dst;
-            } else {
-                state.tail = dst;
-            }
-            state.slots[src as usize] = Slot {
-                item: None,
-                prev: NIL,
-                next: NIL,
-            };
-            state.free.push(src);
-        }
-        self.index.insert(item.key, (class.0, dst));
-    }
-
-    /// Iterates a class's items in MRU (hottest-first) order.
+    /// Iterates a class's items in MRU (hottest-first) order: the
+    /// descending-stamp merge of the shard lists.
     pub fn iter_class_mru(&self, class: ClassId) -> ClassMruIter<'_> {
         ClassMruIter {
-            state: &self.class_states[class.0 as usize],
-            cursor: self.class_states[class.0 as usize].head,
+            shards: &self.shards,
+            class: class.0,
+            cursors: self
+                .shards
+                .iter()
+                .map(|sh| sh.lists[class.0 as usize].head)
+                .collect(),
         }
     }
 
     /// Iterates all resident items (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = ItemMeta> + '_ {
-        self.index.keys().map(|k| self.peek(*k).expect("indexed"))
+        self.shards.iter().flat_map(|sh| {
+            sh.index.iter().map(|(_, &(class, idx))| {
+                sh.lists[class as usize].slots[idx as usize]
+                    .item
+                    .expect("indexed slot is occupied")
+            })
+        })
     }
 
     /// The MRU timestamps of a class in MRU order — the paper's
@@ -818,26 +824,81 @@ impl SlabStore {
         MetadataDump::new(dumps)
     }
 
+    /// The canonicalized class dumps of one shard — the per-shard unit of
+    /// the parallel planning fan-out. Merging every shard's output with
+    /// [`merge_shard_dumps`](Self::merge_shard_dumps) reproduces
+    /// [`dump_metadata`](Self::dump_metadata) byte for byte: hotness is a
+    /// total order (distinct keys never tie), so the canonical descending
+    /// order of a class is unique however its items were partitioned.
+    pub fn dump_shard_classes(&self, shard: usize) -> Vec<ClassDump> {
+        let sh = &self.shards[shard];
+        self.classes
+            .ids()
+            .filter(|id| sh.lists[id.0 as usize].len > 0)
+            .map(|id| {
+                let list = &sh.lists[id.0 as usize];
+                let mut items = Vec::with_capacity(list.len as usize);
+                let mut cursor = list.head;
+                while cursor != NIL {
+                    let slot = &list.slots[cursor as usize];
+                    items.push(slot.item.expect("linked slot is occupied"));
+                    cursor = slot.next;
+                }
+                ClassDump::new(id, items)
+            })
+            .collect()
+    }
+
+    /// Reassembles per-shard dumps ([`dump_shard_classes`](Self::dump_shard_classes))
+    /// into the full metadata dump, byte-identical to
+    /// [`dump_metadata`](Self::dump_metadata).
+    pub fn merge_shard_dumps(&self, parts: &[Vec<ClassDump>]) -> MetadataDump {
+        let dumps = self
+            .classes
+            .ids()
+            .filter_map(|id| {
+                let mut items: Vec<ItemMeta> = Vec::new();
+                for part in parts {
+                    if let Some(d) = part.iter().find(|d| d.class == id) {
+                        items.extend_from_slice(&d.items);
+                    }
+                }
+                (!items.is_empty()).then(|| ClassDump::new(id, items))
+            })
+            .collect();
+        MetadataDump::new(dumps)
+    }
+
+    /// [`dump_metadata`](Self::dump_metadata) with the per-shard dump work
+    /// fanned out over up to `jobs` threads (byte-identical at any job
+    /// count — the migration planner's fan-out unit).
+    pub fn dump_metadata_par(&self, jobs: usize) -> MetadataDump {
+        let shard_ids: Vec<usize> = (0..self.shards.len()).collect();
+        let parts =
+            elmem_util::par::par_map_indexed(jobs, &shard_ids, |_, &s| self.dump_shard_classes(s));
+        self.merge_shard_dumps(&parts)
+    }
+
     /// Median hotness of a class's MRU list (the statistic the Master
     /// compares across nodes when choosing which node to retire, §III-C).
     ///
     /// Returns `None` for an empty class.
     ///
-    /// The O(n/2) list walk is memoized against the class's mutation
+    /// The O(n/2) merged walk is memoized against the class's mutation
     /// version: repeated probes of an unchanged class (the Master scores
     /// every node's every class per decision round) return the cached
-    /// median without touching the list.
+    /// median without walking — or locking — anything.
     pub fn median_hotness(&self, class: ClassId) -> Option<Hotness> {
-        let state = &self.class_states[class.0 as usize];
-        if state.len == 0 {
+        let meta = &self.class_meta[class.0 as usize];
+        if meta.len == 0 {
             return None;
         }
-        if let Some(median) = state.median.get(state.version) {
+        if let Some(median) = meta.median.get(meta.version) {
             return median;
         }
-        let target = (state.len / 2) as usize;
+        let target = (meta.len / 2) as usize;
         let median = self.iter_class_mru(class).nth(target).map(|i| i.hotness());
-        state.median.put(state.version, median);
+        meta.median.put(meta.version, median);
         median
     }
 
@@ -923,28 +984,30 @@ impl SlabStore {
         };
 
         // Rebuild the class list: clear it, then grow capacity and insert
-        // in order, evicting the overflow (the tail of `merged`).
+        // in order (hottest first, descending stamps from a block reserved
+        // off the LRU clock), evicting the overflow (the tail of `merged`).
         for item in &resident {
             self.remove_entry(item.key);
         }
+        let n = merged.len() as u64;
+        let base = self.lru_clock;
+        self.lru_clock += n;
         let mut kept_incoming = 0u64;
         let mut inserted = 0u64;
-        for item in &merged {
-            match self.alloc_slot_no_evict(class) {
-                Some(idx) => {
-                    let state = &mut self.class_states[class.0 as usize];
-                    state.slots[idx as usize].item = Some(*item);
-                    state.push_back(idx);
-                    state.len += 1;
-                    state.bytes_used += item.footprint();
-                    self.index.insert(item.key, (class.0, idx));
-                    inserted += 1;
-                    if incoming_keys.binary_search(&item.key).is_ok() {
-                        kept_incoming += 1;
-                        self.stats.imported += 1;
-                    }
-                }
-                None => break, // class cannot grow further; rest is overflow
+        for (i, item) in merged.iter().enumerate() {
+            if !self.secure_chunk(class) {
+                break; // class cannot grow further; rest is overflow
+            }
+            let seq = base + (n - i as u64);
+            let meta = &mut self.class_meta[class.0 as usize];
+            meta.len += 1;
+            meta.version += 1;
+            let si = shard_of(item.key, self.n_shards);
+            self.shards[si].insert_back(class.0, *item, seq);
+            inserted += 1;
+            if incoming_keys.binary_search(&item.key).is_ok() {
+                kept_incoming += 1;
+                self.stats.imported += 1;
             }
         }
         // Count the dropped overflow as evictions.
@@ -952,10 +1015,11 @@ impl SlabStore {
         Ok(kept_incoming)
     }
 
-    /// Exhaustively checks the store's internal invariants: per-class slot
+    /// Exhaustively checks the store's internal invariants: per-shard slot
     /// accounting (every chunk is exactly occupied or free), MRU-list
-    /// structure (forward and backward walks agree with the length
-    /// counter), byte and page conservation, and index ↔ slot agreement.
+    /// structure (forward walks agree with prev pointers, length counters,
+    /// and strictly descending LRU stamps), byte/page/capacity
+    /// conservation, index ↔ slot agreement, and key → shard routing.
     ///
     /// This is the slab/byte-conservation leg of the chaos engine's
     /// invariant checker (DESIGN.md §12); it is O(items) and intended for
@@ -969,96 +1033,141 @@ impl SlabStore {
         let fail = |msg: String| Err(ElmemError::InvariantViolation(msg));
         let mut total_len = 0u64;
         let mut total_pages = 0u64;
-        for (ci, state) in self.class_states.iter().enumerate() {
-            let occupied = state.slots.iter().filter(|s| s.item.is_some()).count() as u64;
-            if occupied != state.len {
-                return fail(format!(
-                    "class {ci}: len counter {} but {occupied} occupied slots",
-                    state.len
-                ));
-            }
-            if state.free.len() as u64 + occupied != state.slots.len() as u64 {
-                return fail(format!(
-                    "class {ci}: {} free + {occupied} occupied != {} slots",
-                    state.free.len(),
-                    state.slots.len()
-                ));
-            }
-            let mut free_sorted: Vec<u32> = state.free.clone();
-            free_sorted.sort_unstable();
-            free_sorted.dedup();
-            if free_sorted.len() != state.free.len() {
-                return fail(format!("class {ci}: duplicate entries in free list"));
-            }
-            for &idx in &free_sorted {
-                match state.slots.get(idx as usize) {
-                    None => return fail(format!("class {ci}: free slot {idx} out of range")),
-                    Some(slot) if slot.item.is_some() => {
-                        return fail(format!("class {ci}: free slot {idx} is occupied"));
-                    }
-                    Some(_) => {}
-                }
-            }
-            if state.slots.len() as u64 != state.pages * state.chunks_per_page {
-                return fail(format!(
-                    "class {ci}: {} slots but {} pages of {} chunks",
-                    state.slots.len(),
-                    state.pages,
-                    state.chunks_per_page
-                ));
-            }
-            let bytes: u64 = state
-                .slots
-                .iter()
-                .filter_map(|s| s.item.as_ref())
-                .map(|i| i.footprint())
-                .sum();
-            if bytes != state.bytes_used {
-                return fail(format!(
-                    "class {ci}: bytes_used {} but item footprints sum to {bytes}",
-                    state.bytes_used
-                ));
-            }
-            // Forward MRU walk: every linked slot occupied, prev pointers
-            // mirror next pointers, and the walk covers exactly `len` items.
-            let mut walked = 0u64;
-            let mut prev = NIL;
-            let mut cursor = state.head;
-            while cursor != NIL {
-                let slot = match state.slots.get(cursor as usize) {
-                    Some(s) => s,
-                    None => return fail(format!("class {ci}: MRU cursor {cursor} out of range")),
-                };
-                if slot.item.is_none() {
-                    return fail(format!("class {ci}: MRU-linked slot {cursor} is empty"));
-                }
-                if slot.prev != prev {
+        for (ci, meta) in self.class_meta.iter().enumerate() {
+            let mut class_len = 0u64;
+            for (si, shard) in self.shards.iter().enumerate() {
+                let list = &shard.lists[ci];
+                let occupied = list.slots.iter().filter(|s| s.item.is_some()).count() as u64;
+                if occupied != list.len {
                     return fail(format!(
-                        "class {ci}: slot {cursor} prev {} != expected {prev}",
-                        slot.prev
+                        "class {ci} shard {si}: len counter {} but {occupied} occupied slots",
+                        list.len
                     ));
                 }
-                walked += 1;
-                if walked > state.len {
-                    return fail(format!("class {ci}: MRU list longer than len (cycle?)"));
+                if list.free.len() as u64 + occupied != list.slots.len() as u64 {
+                    return fail(format!(
+                        "class {ci} shard {si}: {} free + {occupied} occupied != {} slots",
+                        list.free.len(),
+                        list.slots.len()
+                    ));
                 }
-                prev = cursor;
-                cursor = slot.next;
+                let mut free_sorted: Vec<u32> = list.free.clone();
+                free_sorted.sort_unstable();
+                free_sorted.dedup();
+                if free_sorted.len() != list.free.len() {
+                    return fail(format!(
+                        "class {ci} shard {si}: duplicate entries in free list"
+                    ));
+                }
+                for &idx in &free_sorted {
+                    match list.slots.get(idx as usize) {
+                        None => {
+                            return fail(format!(
+                                "class {ci} shard {si}: free slot {idx} out of range"
+                            ))
+                        }
+                        Some(slot) if slot.item.is_some() => {
+                            return fail(format!(
+                                "class {ci} shard {si}: free slot {idx} is occupied"
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                }
+                let bytes: u64 = list
+                    .slots
+                    .iter()
+                    .filter_map(|s| s.item.as_ref())
+                    .map(|i| i.footprint())
+                    .sum();
+                if bytes != list.bytes_used {
+                    return fail(format!(
+                        "class {ci} shard {si}: bytes_used {} but item footprints sum to {bytes}",
+                        list.bytes_used
+                    ));
+                }
+                // Forward MRU walk: every linked slot occupied, prev
+                // pointers mirror next pointers, stamps strictly
+                // descending, and the walk covers exactly `len` items.
+                let mut walked = 0u64;
+                let mut prev = NIL;
+                let mut prev_seq = u64::MAX;
+                let mut cursor = list.head;
+                while cursor != NIL {
+                    let slot = match list.slots.get(cursor as usize) {
+                        Some(s) => s,
+                        None => {
+                            return fail(format!(
+                                "class {ci} shard {si}: MRU cursor {cursor} out of range"
+                            ))
+                        }
+                    };
+                    if slot.item.is_none() {
+                        return fail(format!(
+                            "class {ci} shard {si}: MRU-linked slot {cursor} is empty"
+                        ));
+                    }
+                    if slot.prev != prev {
+                        return fail(format!(
+                            "class {ci} shard {si}: slot {cursor} prev {} != expected {prev}",
+                            slot.prev
+                        ));
+                    }
+                    if slot.seq >= prev_seq {
+                        return fail(format!(
+                            "class {ci} shard {si}: slot {cursor} stamp {} not below \
+                             predecessor's {prev_seq}",
+                            slot.seq
+                        ));
+                    }
+                    if slot.seq > self.lru_clock {
+                        return fail(format!(
+                            "class {ci} shard {si}: slot {cursor} stamp {} ahead of the \
+                             LRU clock {}",
+                            slot.seq, self.lru_clock
+                        ));
+                    }
+                    walked += 1;
+                    if walked > list.len {
+                        return fail(format!(
+                            "class {ci} shard {si}: MRU list longer than len (cycle?)"
+                        ));
+                    }
+                    prev = cursor;
+                    prev_seq = slot.seq;
+                    cursor = slot.next;
+                }
+                if walked != list.len {
+                    return fail(format!(
+                        "class {ci} shard {si}: MRU walk covered {walked} of {} items",
+                        list.len
+                    ));
+                }
+                if list.tail != prev {
+                    return fail(format!(
+                        "class {ci} shard {si}: tail {} but MRU walk ended at {prev}",
+                        list.tail
+                    ));
+                }
+                class_len += list.len;
             }
-            if walked != state.len {
+            if class_len != meta.len {
                 return fail(format!(
-                    "class {ci}: MRU walk covered {walked} of {} items",
-                    state.len
+                    "class {ci}: len counter {} but shards hold {class_len} items",
+                    meta.len
                 ));
             }
-            if state.tail != prev {
+            if meta.len > meta.capacity() {
                 return fail(format!(
-                    "class {ci}: tail {} but MRU walk ended at {prev}",
-                    state.tail
+                    "class {ci}: {} items over capacity {} ({} pages of {} chunks)",
+                    meta.len,
+                    meta.capacity(),
+                    meta.pages,
+                    meta.chunks_per_page
                 ));
             }
-            total_len += state.len;
-            total_pages += state.pages;
+            total_len += meta.len;
+            total_pages += meta.pages;
         }
         if total_pages != self.pages_used {
             return fail(format!(
@@ -1072,71 +1181,95 @@ impl SlabStore {
                 self.pages_used, self.pages_total
             ));
         }
-        if self.index.len() as u64 != total_len {
+        let indexed: u64 = self.shards.iter().map(|sh| sh.index.len() as u64).sum();
+        if indexed != total_len {
             return fail(format!(
-                "index holds {} keys but classes hold {total_len} items",
-                self.index.len()
+                "index holds {indexed} keys but classes hold {total_len} items"
             ));
         }
-        // Index → slot agreement. The index iterates in hash order, so any
-        // violations are collected and the smallest key reported to keep
-        // the message deterministic.
-        let mut bad_key: Option<(KeyId, String)> = None;
-        for (&key, &(class, idx)) in self.index.iter() {
-            let problem = match self
-                .class_states
-                .get(class as usize)
-                .and_then(|s| s.slots.get(idx as usize))
-            {
-                None => Some(format!("{key} maps to out-of-range slot {class}/{idx}")),
-                Some(slot) => match slot.item {
-                    None => Some(format!("{key} maps to empty slot {class}/{idx}")),
-                    Some(item) if item.key != key => {
-                        Some(format!("{key} maps to slot holding {}", item.key))
+        // Index → slot agreement and key → shard routing. The index
+        // iterates in hash order, so violations are collected and the
+        // smallest key reported to keep the message deterministic.
+        for (si, shard) in self.shards.iter().enumerate() {
+            let mut bad_key: Option<(KeyId, String)> = None;
+            for (&key, &(class, idx)) in shard.index.iter() {
+                let routed = shard_of(key, self.n_shards);
+                let problem = if routed != si {
+                    Some(format!(
+                        "{key} routes to shard {routed} but is indexed in shard {si}"
+                    ))
+                } else {
+                    match shard
+                        .lists
+                        .get(class as usize)
+                        .and_then(|l| l.slots.get(idx as usize))
+                    {
+                        None => Some(format!("{key} maps to out-of-range slot {class}/{idx}")),
+                        Some(slot) => match slot.item {
+                            None => Some(format!("{key} maps to empty slot {class}/{idx}")),
+                            Some(item) if item.key != key => {
+                                Some(format!("{key} maps to slot holding {}", item.key))
+                            }
+                            Some(_) => None,
+                        },
                     }
-                    Some(_) => None,
-                },
-            };
-            if let Some(msg) = problem {
-                if bad_key.as_ref().is_none_or(|(k, _)| key < *k) {
-                    bad_key = Some((key, msg));
+                };
+                if let Some(msg) = problem {
+                    if bad_key.as_ref().is_none_or(|(k, _)| key < *k) {
+                        bad_key = Some((key, msg));
+                    }
                 }
             }
-        }
-        if let Some((_, msg)) = bad_key {
-            return fail(format!("index: {msg}"));
+            if let Some((_, msg)) = bad_key {
+                return fail(format!("shard {si} index: {msg}"));
+            }
         }
         Ok(())
     }
 
     /// Deliberately breaks the byte accounting of the first non-empty
-    /// class. Exists so cross-crate tests can prove [`SlabStore::audit`]
+    /// shard list. Exists so cross-crate tests can prove [`SlabStore::audit`]
     /// catches corruption; never call it outside tests.
     #[doc(hidden)]
     pub fn corrupt_bytes_used_for_tests(&mut self) {
-        if let Some(state) = self.class_states.iter_mut().find(|s| s.len > 0) {
-            state.bytes_used += 1;
+        if let Some(list) = self
+            .shards
+            .iter_mut()
+            .flat_map(|sh| sh.lists.iter_mut())
+            .find(|l| l.len > 0)
+        {
+            list.bytes_used += 1;
         }
     }
 }
 
-/// Iterator over a class's items in MRU order. Created by
-/// [`SlabStore::iter_class_mru`].
+/// Iterator over a class's items in MRU order — the descending-stamp merge
+/// of the shard lists. Created by [`SlabStore::iter_class_mru`].
 #[derive(Debug)]
 pub struct ClassMruIter<'a> {
-    state: &'a ClassState,
-    cursor: u32,
+    shards: &'a [Shard],
+    class: u16,
+    /// Per-shard cursor into the class's list ([`NIL`] = exhausted).
+    cursors: Vec<u32>,
 }
 
 impl Iterator for ClassMruIter<'_> {
     type Item = ItemMeta;
 
     fn next(&mut self) -> Option<ItemMeta> {
-        if self.cursor == NIL {
-            return None;
+        let mut hottest: Option<(usize, u64)> = None;
+        for (si, &cur) in self.cursors.iter().enumerate() {
+            if cur == NIL {
+                continue;
+            }
+            let seq = self.shards[si].lists[self.class as usize].slots[cur as usize].seq;
+            if hottest.is_none_or(|(_, s)| seq > s) {
+                hottest = Some((si, seq));
+            }
         }
-        let slot = &self.state.slots[self.cursor as usize];
-        self.cursor = slot.next;
+        let (si, _) = hottest?;
+        let slot = &self.shards[si].lists[self.class as usize].slots[self.cursors[si] as usize];
+        self.cursors[si] = slot.next;
         Some(slot.item.expect("linked slot is occupied"))
     }
 }
@@ -1191,6 +1324,7 @@ mod tests {
         SlabStore::new(StoreConfig {
             memory: ByteSize::from_mib(2),
             classes: SizeClasses::new(128, 2.0, 1024),
+            shards: default_shard_count(),
         })
     }
 
@@ -1305,6 +1439,7 @@ mod tests {
         let mut s = SlabStore::new(StoreConfig {
             memory: ByteSize::from_mib(1),
             classes: SizeClasses::new(128, 2.0, 1024),
+            shards: default_shard_count(),
         });
         let cap = ByteSize::PAGE.as_u64() / 128;
         for k in 0..cap + 10 {
@@ -1324,6 +1459,7 @@ mod tests {
         let mut s = SlabStore::new(StoreConfig {
             memory: ByteSize::from_mib(1),
             classes: SizeClasses::new(128, 2.0, 1024),
+            shards: default_shard_count(),
         });
         let cap = ByteSize::PAGE.as_u64() / 128;
         for k in 0..cap {
@@ -1355,6 +1491,7 @@ mod tests {
         let mut s = SlabStore::new(StoreConfig {
             memory: ByteSize::from_mib(1),
             classes: SizeClasses::new(128, 2.0, 1024),
+            shards: default_shard_count(),
         });
         s.set(KeyId(1), 10, t(1)).unwrap();
         let err = s.set(KeyId(2), 900, t(2)).unwrap_err();
@@ -1419,6 +1556,24 @@ mod tests {
     }
 
     #[test]
+    fn median_cache_clone_is_independent() {
+        // The regression the PR 5 Mutex version would have failed if the
+        // lock were shared: mutating the *original* after a clone must not
+        // disturb the clone's memoized answer (and vice versa).
+        let mut s = small_store();
+        for k in 0..9 {
+            s.set(KeyId(k), 10, t(k + 1)).unwrap();
+        }
+        let class = s.classes().class_for(item_footprint(10)).unwrap();
+        let med = s.median_hotness(class);
+        let clone = s.clone();
+        s.get(KeyId(0), t(100)).unwrap();
+        let moved = s.median_hotness(class);
+        assert_ne!(moved, med, "touching the coldest item moves the median");
+        assert_eq!(clone.median_hotness(class), med, "clone state is private");
+    }
+
+    #[test]
     fn dump_is_mru_ordered() {
         let mut s = small_store();
         for k in 0..10 {
@@ -1438,6 +1593,26 @@ mod tests {
         s.set(KeyId(1), 10, t(1)).unwrap();
         let dump = s.dump_metadata();
         assert_eq!(dump.classes.len(), 1);
+    }
+
+    #[test]
+    fn sharded_dump_merge_matches_full_dump() {
+        let mut s = small_store();
+        // Sizes span two classes; the 2-page store can give each a page.
+        for k in 0..200 {
+            s.set(KeyId(k), 10 + (k as u32 % 150), t(k + 1)).unwrap();
+        }
+        for k in (0..200).step_by(7) {
+            s.get(KeyId(k), t(1000 + k)).unwrap();
+        }
+        let full = s.dump_metadata();
+        let parts: Vec<Vec<ClassDump>> = (0..s.shard_count())
+            .map(|i| s.dump_shard_classes(i))
+            .collect();
+        assert_eq!(s.merge_shard_dumps(&parts), full);
+        for jobs in [1, 2, 8] {
+            assert_eq!(s.dump_metadata_par(jobs), full);
+        }
     }
 
     #[test]
@@ -1488,6 +1663,7 @@ mod tests {
         let mut s = SlabStore::new(StoreConfig {
             memory: ByteSize::from_mib(1),
             classes: SizeClasses::new(128, 2.0, 1024),
+            shards: default_shard_count(),
         });
         let cap = ByteSize::PAGE.as_u64() / 128;
         for k in 0..cap {
@@ -1599,6 +1775,22 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_is_clamped() {
+        let s = SlabStore::new(StoreConfig {
+            memory: ByteSize::from_mib(1),
+            classes: SizeClasses::new(128, 2.0, 1024),
+            shards: 0,
+        });
+        assert_eq!(s.shard_count(), 1);
+        let s = SlabStore::new(StoreConfig {
+            memory: ByteSize::from_mib(1),
+            classes: SizeClasses::new(128, 2.0, 1024),
+            shards: 10_000,
+        });
+        assert_eq!(s.shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
     fn audit_passes_through_store_lifecycle() {
         let mut s = small_store();
         s.audit().unwrap();
@@ -1635,8 +1827,7 @@ mod tests {
             s.set(KeyId(k), 50, t(k)).unwrap();
         }
         // Corrupt a byte counter behind the accessors' backs.
-        let class = s.classes().class_for(item_footprint(50)).unwrap();
-        s.class_states[class.0 as usize].bytes_used += 1;
+        s.corrupt_bytes_used_for_tests();
         let err = s.audit().unwrap_err();
         assert!(matches!(err, ElmemError::InvariantViolation(_)), "{err}");
         assert!(err.to_string().contains("bytes_used"), "{err}");

@@ -1,12 +1,13 @@
 //! Memcached command-surface tests: `add`, `replace`, `cas`, `peek_live`.
 
-use elmem_store::{SizeClasses, SlabStore, StoreConfig};
+use elmem_store::{default_shard_count, SizeClasses, SlabStore, StoreConfig};
 use elmem_util::{ByteSize, KeyId, SimTime};
 
 fn store() -> SlabStore {
     SlabStore::new(StoreConfig {
         memory: ByteSize::from_mib(2),
         classes: SizeClasses::new(128, 2.0, 1024),
+        shards: default_shard_count(),
     })
 }
 

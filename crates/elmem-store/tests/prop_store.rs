@@ -26,6 +26,7 @@ fn store() -> SlabStore {
     SlabStore::new(StoreConfig {
         memory: ByteSize::from_mib(2),
         classes: SizeClasses::new(128, 2.0, 1024),
+        shards: elmem_store::default_shard_count(),
     })
 }
 

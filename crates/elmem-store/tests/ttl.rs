@@ -1,13 +1,14 @@
 //! TTL / expiry semantics: lazy reclamation on access, the `touch`
 //! command, `flush_all`, and the bounded LRU crawler.
 
-use elmem_store::{ItemMeta, SizeClasses, SlabStore, StoreConfig};
+use elmem_store::{default_shard_count, ItemMeta, SizeClasses, SlabStore, StoreConfig};
 use elmem_util::{ByteSize, KeyId, SimTime};
 
 fn store() -> SlabStore {
     SlabStore::new(StoreConfig {
         memory: ByteSize::from_mib(2),
         classes: SizeClasses::new(128, 2.0, 1024),
+        shards: default_shard_count(),
     })
 }
 
