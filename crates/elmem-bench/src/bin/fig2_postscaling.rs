@@ -8,7 +8,7 @@
 //! scale).
 
 use elmem_bench::exp::{
-    degradation_reduction, laptop_experiment, print_summary_row, print_timeline,
+    degradation_reduction, experiment_preset, print_summary_row, print_timeline, Preset,
 };
 use elmem_bench::sweep;
 use elmem_core::{run_experiment, MigrationPolicy, ScaleAction};
@@ -16,6 +16,8 @@ use elmem_util::SimTime;
 use elmem_workload::TraceKind;
 
 fn main() {
+    let preset = Preset::from_cli();
+    let nodes = preset.scale_nodes(10);
     let seed = 42;
     // The ETC dip drives a 10 → 9 scale-in at the 25-minute mark; when
     // demand recovers, a 9 → 10 scale-out follows (the paper's Fig. 6(b)
@@ -25,12 +27,16 @@ fn main() {
         (SimTime::from_secs(45 * 60), ScaleAction::Out { count: 1 }),
     ];
 
-    println!("== Fig. 2: post-scaling degradation (ETC, 10 -> 9 nodes) ==\n");
+    println!(
+        "== Fig. 2: post-scaling degradation (ETC, {nodes} -> {} nodes) ==\n",
+        nodes - 1
+    );
     let cells = [MigrationPolicy::Baseline, MigrationPolicy::elmem()];
     let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, policy| {
-        run_experiment(laptop_experiment(
+        run_experiment(experiment_preset(
+            preset,
             TraceKind::FacebookEtc,
-            10,
+            nodes,
             *policy,
             scheduled.clone(),
             seed,

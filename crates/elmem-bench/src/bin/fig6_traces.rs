@@ -11,7 +11,7 @@
 //! by ~88–97% on scale-in and ~81% on scale-out.
 
 use elmem_bench::exp::{
-    degradation_reduction, laptop_experiment, post_event_window_p95, print_summary_row,
+    degradation_reduction, experiment_preset, post_event_window_p95, print_summary_row, Preset,
 };
 use elmem_bench::sweep;
 use elmem_core::{run_experiment, MigrationPolicy, ScaleAction};
@@ -23,6 +23,7 @@ fn minutes(m: u64) -> SimTime {
 }
 
 fn main() {
+    let preset = Preset::from_cli();
     type Case = (TraceKind, u32, Vec<(SimTime, ScaleAction)>, &'static str);
     let cases: Vec<Case> = vec![
         (
@@ -84,9 +85,10 @@ fn main() {
     let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, (case, policy)| {
         let (trace, nodes, scheduled, _) = case;
         let seed = 1000 + trace.name().len() as u64;
-        run_experiment(laptop_experiment(
+        run_experiment(experiment_preset(
+            preset,
             *trace,
-            *nodes,
+            preset.scale_nodes(*nodes),
             *policy,
             scheduled.clone(),
             seed,

@@ -8,7 +8,7 @@
 //! ~45% fewer than the worst pick (paper: 3.97 M best vs 6.23 M random avg
 //! vs 7.4 M worst).
 
-use elmem_bench::exp::{laptop_cluster, laptop_workload, PREFILL_RANKS};
+use elmem_bench::exp::{cluster_preset, workload_preset, Preset};
 use elmem_bench::sweep;
 use elmem_cluster::Cluster;
 use elmem_core::migration::{migrate_scale_in, MigrationCosts};
@@ -18,12 +18,17 @@ use elmem_util::{DetRng, NodeId, SimTime};
 use elmem_workload::{RequestGenerator, TraceKind};
 
 fn main() {
-    println!("== Fig. 7: node choice for scaling (10 -> 9) ==\n");
+    let preset = Preset::from_cli();
+    let nodes = preset.scale_nodes(10);
+    println!(
+        "== Fig. 7: node choice for scaling ({nodes} -> {}) ==\n",
+        nodes - 1
+    );
     let seed = 77;
-    let workload = laptop_workload(TraceKind::FacebookEtc, seed);
+    let workload = workload_preset(preset, TraceKind::FacebookEtc, seed);
     let rng = DetRng::seed(seed);
     let mut cluster = Cluster::new(
-        laptop_cluster(10),
+        cluster_preset(preset, nodes),
         workload.keyspace.clone(),
         rng.split("c"),
     );
@@ -33,7 +38,9 @@ fn main() {
     // per-node recency actually differs.
     let zipf = gen.zipf().clone();
     cluster.prefill(
-        (1..=PREFILL_RANKS).rev().map(|r| zipf.key_for_rank(r)),
+        (1..=preset.prefill_ranks())
+            .rev()
+            .map(|r| zipf.key_for_rank(r)),
         SimTime::ZERO,
     );
     let mut served = 0u64;

@@ -6,7 +6,7 @@
 //! ~70% tail-RT reduction vs Naive and ~64% vs CacheScale.
 
 use elmem_bench::exp::{
-    degradation_reduction, laptop_experiment, print_summary_row, print_timeline,
+    degradation_reduction, experiment_preset, print_summary_row, print_timeline, Preset,
 };
 use elmem_bench::sweep;
 use elmem_core::{run_experiment, MigrationPolicy, ScaleAction};
@@ -14,7 +14,12 @@ use elmem_util::SimTime;
 use elmem_workload::TraceKind;
 
 fn main() {
-    println!("== Fig. 8: ElMem vs Naive vs CacheScale (SYS, 10 -> 7) ==\n");
+    let preset = Preset::from_cli();
+    let nodes = preset.scale_nodes(10);
+    println!(
+        "== Fig. 8: ElMem vs Naive vs CacheScale (SYS, {nodes} -> {}) ==\n",
+        nodes - 3
+    );
     let seed = 88;
     let scheduled = vec![(SimTime::from_secs(30 * 60), ScaleAction::In { count: 3 })];
 
@@ -25,8 +30,14 @@ fn main() {
         MigrationPolicy::Baseline,
     ];
     let mut results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, policy| {
-        let mut cfg =
-            laptop_experiment(TraceKind::FacebookSys, 10, *policy, scheduled.clone(), seed);
+        let mut cfg = experiment_preset(
+            preset,
+            TraceKind::FacebookSys,
+            nodes,
+            *policy,
+            scheduled.clone(),
+            seed,
+        );
         // A slightly flatter popularity (Zipf 0.95) puts real mass in the
         // mid-tail, where the policies' data-placement quality differs,
         // while keeping the post-scaling steady state inside the database's

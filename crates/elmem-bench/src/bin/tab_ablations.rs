@@ -10,7 +10,7 @@
 //!    exercised on a rising-demand trace where prediction pre-provisions.
 
 use elmem_bench::exp::{
-    laptop_cluster, laptop_experiment, laptop_workload, print_summary_row, PREFILL_RANKS,
+    cluster_preset, experiment_preset, print_summary_row, workload_preset, Preset,
 };
 use elmem_bench::sweep;
 use elmem_cluster::Cluster;
@@ -28,23 +28,29 @@ fn minutes(m: u64) -> SimTime {
 }
 
 fn main() {
-    ablate_import_mode();
-    ablate_cachescale_window();
-    ablate_vnodes();
+    let preset = Preset::from_cli();
+    ablate_import_mode(preset);
+    ablate_cachescale_window(preset);
+    ablate_vnodes(preset);
     ablate_predictive();
 }
 
-fn ablate_import_mode() {
-    println!("== Ablation 1: batch-import mode (ETC, 10 -> 9) ==\n");
+fn ablate_import_mode(preset: Preset) {
+    let nodes = preset.scale_nodes(10);
+    println!(
+        "== Ablation 1: batch-import mode (ETC, {nodes} -> {}) ==\n",
+        nodes - 1
+    );
     let scheduled = vec![(minutes(25), ScaleAction::In { count: 1 })];
     let cells = [
         ("merge", ImportMode::Merge),
         ("prepend", ImportMode::Prepend),
     ];
     let results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, (_, mode)| {
-        run_experiment(laptop_experiment(
+        run_experiment(experiment_preset(
+            preset,
             TraceKind::FacebookEtc,
-            10,
+            nodes,
             MigrationPolicy::ElMem { import: *mode },
             scheduled.clone(),
             411,
@@ -58,14 +64,19 @@ fn ablate_import_mode() {
     );
 }
 
-fn ablate_cachescale_window() {
-    println!("== Ablation 2: CacheScale discard window (SYS, 10 -> 7) ==\n");
+fn ablate_cachescale_window(preset: Preset) {
+    let nodes = preset.scale_nodes(10);
+    println!(
+        "== Ablation 2: CacheScale discard window (SYS, {nodes} -> {}) ==\n",
+        nodes - 3
+    );
     let scheduled = vec![(minutes(30), ScaleAction::In { count: 3 })];
     let cells = [30u64, 120, 480];
     let results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, &window_s| {
-        let mut cfg = laptop_experiment(
+        let mut cfg = experiment_preset(
+            preset,
             TraceKind::FacebookSys,
-            10,
+            nodes,
             MigrationPolicy::CacheScale {
                 window: SimTime::from_secs(window_s),
             },
@@ -83,7 +94,7 @@ fn ablate_cachescale_window() {
     );
 }
 
-fn ablate_vnodes() {
+fn ablate_vnodes(preset: Preset) {
     println!("== Ablation 3: ring vnodes vs node-choice spread ==\n");
     println!(
         "{:>7} {:>16} {:>16} {:>10}",
@@ -92,15 +103,17 @@ fn ablate_vnodes() {
     let cells = [8u32, 32, 128];
     let results = sweep::run_cells(sweep::jobs_from_cli(), &cells, |_, &vnodes| {
         let seed = 413;
-        let mut cluster_cfg = laptop_cluster(10);
+        let mut cluster_cfg = cluster_preset(preset, preset.scale_nodes(10));
         cluster_cfg.vnodes = vnodes;
-        let workload = laptop_workload(TraceKind::FacebookEtc, seed);
+        let workload = workload_preset(preset, TraceKind::FacebookEtc, seed);
         let rng = DetRng::seed(seed);
         let mut cluster = Cluster::new(cluster_cfg, workload.keyspace.clone(), rng.split("c"));
         let mut gen = RequestGenerator::new(workload, rng.split("w"));
         let zipf = gen.zipf().clone();
         cluster.prefill(
-            (1..=PREFILL_RANKS).rev().map(|r| zipf.key_for_rank(r)),
+            (1..=preset.prefill_ranks())
+                .rev()
+                .map(|r| zipf.key_for_rank(r)),
             SimTime::ZERO,
         );
         while let Some(req) = gen.next_request() {

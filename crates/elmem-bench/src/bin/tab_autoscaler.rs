@@ -8,7 +8,7 @@
 //! the post-scaling hit rate stays at or above `p_min` from Eq. (1) — i.e.
 //! the database never sees more than `r_DB` misses per second for long.
 
-use elmem_bench::exp::{laptop_cluster, laptop_workload, PREFILL_RANKS};
+use elmem_bench::exp::{cluster_preset, workload_preset, Preset};
 use elmem_bench::sweep;
 use elmem_core::migration::MigrationCosts;
 use elmem_core::{
@@ -65,13 +65,14 @@ fn main() {
     // paper (and we) treat the autoscaling policy as a pluggable module
     // and drive the degradation experiments with scripted actions.
     println!("\n== end-to-end autoscaled run (demand 1.0 -> 0.3) ==\n");
-    let mut cluster = laptop_cluster(10);
-    cluster.db_servers = 3; // r_DB = 500/s
+    let preset = Preset::from_cli();
+    let mut cluster = cluster_preset(preset, preset.scale_nodes(10));
+    cluster.db_servers *= 3; // laptop: r_DB = 500/s
     let mut scaler_cfg = AutoScalerConfig::new(cluster.r_db(), cluster.node_memory);
     scaler_cfg.epoch = SimTime::from_secs(60);
-    scaler_cfg.max_nodes = 12;
+    scaler_cfg.max_nodes = preset.scale_nodes(12);
     scaler_cfg.min_observations = 2_000_000;
-    let mut workload = laptop_workload(TraceKind::FacebookEtc, 5);
+    let mut workload = workload_preset(preset, TraceKind::FacebookEtc, 5);
     workload.trace = DemandTrace::new(
         vec![
             1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3,
@@ -87,7 +88,7 @@ fn main() {
         policy: MigrationPolicy::elmem(),
         autoscaler: Some(scaler_cfg.into()),
         scheduled: vec![],
-        prefill_top_ranks: PREFILL_RANKS,
+        prefill_top_ranks: preset.prefill_ranks(),
         costs: MigrationCosts::default(),
         faults: FaultPlan::new(),
         healing: None,

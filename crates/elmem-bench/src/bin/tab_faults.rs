@@ -8,7 +8,7 @@
 //! crash landed in, and commit a consistent membership; the table compares
 //! the post-scaling p95 against the fault-free run.
 
-use elmem_bench::exp::{laptop_experiment, post_event_window_p95};
+use elmem_bench::exp::{experiment_preset, post_event_window_p95, Preset};
 use elmem_bench::sweep;
 use elmem_core::{
     run_experiment, ExperimentConfig, ExperimentResult, FaultPlan, MigrationOutcome,
@@ -22,9 +22,11 @@ const SCALE_AT: SimTime = SimTime::from_secs(120);
 const P95_WINDOW_S: u64 = 120;
 
 fn experiment(faults: FaultPlan) -> ExperimentConfig {
-    let mut cfg = laptop_experiment(
+    let preset = Preset::from_cli();
+    let mut cfg = experiment_preset(
+        preset,
         TraceKind::FacebookEtc,
-        10,
+        preset.scale_nodes(10),
         MigrationPolicy::elmem(),
         vec![(SCALE_AT, ScaleAction::In { count: 1 })],
         SEED,

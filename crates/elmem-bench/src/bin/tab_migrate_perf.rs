@@ -29,7 +29,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use elmem_bench::exp::laptop_cluster;
+use elmem_bench::exp::{cluster_preset, Preset};
 use elmem_bench::sweep;
 use elmem_cluster::CacheTier;
 use elmem_core::migration::{migrate_scale_in, MigrationCosts};
@@ -48,7 +48,7 @@ const SCHEMA: &str = "elmem-migrate-perf-v1";
 /// just before a scale-in.
 fn warmed_tier(nodes: u32, keys: u64) -> CacheTier {
     let ks = Keyspace::new(keys, 11);
-    let mut tier = CacheTier::new(laptop_cluster(nodes));
+    let mut tier = CacheTier::new(cluster_preset(Preset::from_cli(), nodes));
     for k in 0..keys {
         let key = KeyId(k);
         let owner = tier.node_for_key(key).expect("non-empty membership");

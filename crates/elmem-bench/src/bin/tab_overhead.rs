@@ -6,7 +6,7 @@
 //! ≈20 s, hash+dump ≈50 s, metadata transfer ≈70 s, FuseCache <2 s, data
 //! migration ≈45 s, import ≈80 s — about 2 minutes end to end.
 
-use elmem_bench::exp::{laptop_cluster, laptop_workload, PREFILL_RANKS};
+use elmem_bench::exp::{cluster_preset, workload_preset, Preset};
 use elmem_bench::sweep;
 use elmem_cluster::Cluster;
 use elmem_core::migration::{migrate_scale_in, MigrationCosts};
@@ -19,18 +19,21 @@ fn main() {
     println!("== Tab (SS V-B2): migration overhead breakdown ==\n");
     // One cell — the warmup feeds the single migration it measures — run
     // through the sweep harness like every other fig/tab binary.
+    let preset = Preset::from_cli();
     let mut cells = sweep::run_cells(sweep::jobs_from_cli(), &[99u64], |_, &seed| {
-        let workload = laptop_workload(TraceKind::FacebookEtc, seed);
+        let workload = workload_preset(preset, TraceKind::FacebookEtc, seed);
         let rng = DetRng::seed(seed);
         let mut cluster = Cluster::new(
-            laptop_cluster(10),
+            cluster_preset(preset, preset.scale_nodes(10)),
             workload.keyspace.clone(),
             rng.split("c"),
         );
         let mut gen = RequestGenerator::new(workload, rng.split("w"));
         let zipf = gen.zipf().clone();
         cluster.prefill(
-            (1..=PREFILL_RANKS).rev().map(|r| zipf.key_for_rank(r)),
+            (1..=preset.prefill_ranks())
+                .rev()
+                .map(|r| zipf.key_for_rank(r)),
             SimTime::ZERO,
         );
         while let Some(req) = gen.next_request() {

@@ -26,7 +26,7 @@
 //! hit-rate ordering warm > evict > none, resume beating abort) hold in
 //! both modes.
 
-use elmem_bench::exp::laptop_experiment;
+use elmem_bench::exp::{experiment_preset, Preset};
 use elmem_bench::sweep;
 use elmem_cluster::ClusterConfig;
 use elmem_core::migration::MigrationCosts;
@@ -61,9 +61,11 @@ fn full_experiment(healing: Option<HealingConfig>) -> (ExperimentConfig, Scenari
         tail_from: 240,
         tail_to: 420,
     };
-    let mut cfg = laptop_experiment(
+    let preset = Preset::from_cli();
+    let mut cfg = experiment_preset(
+        preset,
         TraceKind::FacebookEtc,
-        10,
+        preset.scale_nodes(10),
         MigrationPolicy::elmem(),
         vec![],
         SEED,

@@ -11,7 +11,7 @@
 //! dips at the scaling commit and recovers afterwards, and two runs with
 //! the same seed produce byte-identical telemetry dumps.
 
-use elmem_bench::exp::laptop_experiment;
+use elmem_bench::exp::{experiment_preset, Preset};
 use elmem_bench::sweep;
 use elmem_cluster::ClusterConfig;
 use elmem_core::migration::MigrationCosts;
@@ -40,9 +40,11 @@ fn full_experiment(policy: MigrationPolicy) -> (ExperimentConfig, Scenario) {
         tail_from: 300,
         tail_to: 420,
     };
-    let mut cfg = laptop_experiment(
+    let preset = Preset::from_cli();
+    let mut cfg = experiment_preset(
+        preset,
         TraceKind::FacebookEtc,
-        10,
+        preset.scale_nodes(10),
         policy,
         vec![(
             SimTime::from_secs(scenario.scale_s),

@@ -17,6 +17,10 @@ use elmem_workload::{Keyspace, TraceKind, WorkloadConfig};
 /// capacity at peak demand, so scaling-induced misses overwhelm it.
 pub const LAPTOP_KEYS: u64 = 1_400_000;
 
+/// Keys in the paper-scale keyspace — the full ETC population the paper
+/// replays (~19 M distinct keys, §V).
+pub const PAPER_KEYS: u64 = 19_000_000;
+
 /// Per-request multi-get fan-out.
 pub const ITEMS_PER_REQUEST: usize = 5;
 
@@ -26,6 +30,11 @@ pub const ITEMS_PER_REQUEST: usize = 5;
 /// but losing any node's data pushes it well past the knee.
 pub const PEAK_RATE: f64 = 833.0;
 
+/// Paper-scale peak request rate, req/s. 20 000 req/s × 5 lookups against
+/// r_DB = 4 000/s keeps the same 25:1 peak-lookups-to-database ratio as
+/// the laptop shrink, so Eq. (1) lands at the same p_min ≈ 0.96.
+pub const PAPER_PEAK_RATE: f64 = 20_000.0;
+
 /// Zipf popularity exponent.
 pub const ZIPF: f64 = 1.0;
 
@@ -33,14 +42,134 @@ pub const ZIPF: f64 = 1.0;
 /// starts warm, like the paper's steady state).
 pub const PREFILL_RANKS: u64 = LAPTOP_KEYS;
 
-/// The laptop-scale deployment: 10 × 64 MB nodes, r_DB ≈ 167 req/s.
-pub fn laptop_cluster(initial_nodes: u32) -> ClusterConfig {
+/// Deployment scale for the `fig*`/`tab*` binaries.
+///
+/// Every experiment constructor in this module takes (or defaults) a
+/// preset. [`Preset::Laptop`] is the 1:8 shrink all pinned golden numbers
+/// were recorded on; [`Preset::Paper`] restores the paper's workload scale
+/// — the full ~19 M-key ETC population at 20 k req/s on a tier ten times
+/// as wide — while preserving the capacity and Eq. (1) ratios that drive
+/// the dynamics. Resolution order: `--preset NAME` on the command line,
+/// then the `ELMEM_PRESET` environment variable, then [`Preset::Laptop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preset {
+    /// Laptop-scale shrink (1.4 M keys, 833 req/s peak, 64 MiB nodes).
+    #[default]
+    Laptop,
+    /// Paper-scale ETC (19 M keys, 20 k req/s peak, 10× node count).
+    Paper,
+}
+
+/// Environment variable selecting the deployment preset.
+pub const PRESET_ENV: &str = "ELMEM_PRESET";
+
+impl Preset {
+    /// Parses a preset name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Preset> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "laptop" => Some(Preset::Laptop),
+            "paper" => Some(Preset::Paper),
+            _ => None,
+        }
+    }
+
+    /// Resolves `--preset NAME` / `--preset=NAME` from explicit arguments.
+    pub fn from_args<S: AsRef<str>>(args: &[S]) -> Option<Preset> {
+        let mut it = args.iter().map(AsRef::as_ref);
+        while let Some(arg) = it.next() {
+            if arg == "--preset" {
+                return it.next().and_then(Preset::from_name);
+            }
+            if let Some(v) = arg.strip_prefix("--preset=") {
+                return Preset::from_name(v);
+            }
+        }
+        None
+    }
+
+    /// Resolves the preset for this process: `--preset` from the process
+    /// arguments, else [`PRESET_ENV`], else [`Preset::Laptop`].
+    pub fn from_cli() -> Preset {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Preset::from_args(&args)
+            .or_else(|| {
+                std::env::var(PRESET_ENV)
+                    .ok()
+                    .as_deref()
+                    .and_then(Preset::from_name)
+            })
+            .unwrap_or_default()
+    }
+
+    /// The preset's display name (what `--preset` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Laptop => "laptop",
+            Preset::Paper => "paper",
+        }
+    }
+
+    /// Keyspace population.
+    pub fn keys(self) -> u64 {
+        match self {
+            Preset::Laptop => LAPTOP_KEYS,
+            Preset::Paper => PAPER_KEYS,
+        }
+    }
+
+    /// Peak request rate, req/s.
+    pub fn peak_rate(self) -> f64 {
+        match self {
+            Preset::Laptop => PEAK_RATE,
+            Preset::Paper => PAPER_PEAK_RATE,
+        }
+    }
+
+    /// Hottest ranks prefilled before each run (the whole keyspace).
+    pub fn prefill_ranks(self) -> u64 {
+        self.keys()
+    }
+
+    /// Scales a laptop-scale node count to this preset's tier width
+    /// (the paper tier is 10× as wide: 10 laptop nodes ↔ 100 paper nodes).
+    pub fn scale_nodes(self, laptop_nodes: u32) -> u32 {
+        match self {
+            Preset::Laptop => laptop_nodes,
+            Preset::Paper => laptop_nodes.saturating_mul(10),
+        }
+    }
+
+    /// Model memory per node. The paper preset's 96 MiB keeps the tier's
+    /// capacity:popularity-mass ratio at the laptop shrink's operating
+    /// point (≈ 97% of mass resident at full width, keyspace > capacity),
+    /// so the hit-rate/DB-load dynamics carry over at 13.6× the keys.
+    pub fn node_memory(self) -> ByteSize {
+        match self {
+            Preset::Laptop => ByteSize::from_mib(64),
+            Preset::Paper => ByteSize::from_mib(96),
+        }
+    }
+
+    /// Database capacity knobs: (server count, per-request service time).
+    /// Laptop: 1 × 6 ms → r_DB ≈ 167/s. Paper: 8 × 2 ms → r_DB = 4 000/s.
+    fn db(self) -> (usize, SimTime) {
+        match self {
+            Preset::Laptop => (1, SimTime::from_millis(6)),
+            Preset::Paper => (8, SimTime::from_millis(2)),
+        }
+    }
+}
+
+/// The deployment at a given preset scale; node count is the *actual*
+/// initial tier width (callers scale via [`Preset::scale_nodes`]).
+pub fn cluster_preset(preset: Preset, initial_nodes: u32) -> ClusterConfig {
+    let (db_servers, db_service) = preset.db();
     ClusterConfig {
         initial_nodes,
-        node_memory: ByteSize::from_mib(64),
+        node_memory: preset.node_memory(),
         vnodes: 128,
-        db_servers: 1,
-        db_service: SimTime::from_millis(6),
+        db_servers,
+        db_service,
         db_shed_delay: SimTime::from_secs(2),
         mc_latency: SimTime::from_micros(200),
         client_timeout: SimTime::from_millis(250),
@@ -53,15 +182,50 @@ pub fn laptop_cluster(initial_nodes: u32) -> ClusterConfig {
     }
 }
 
-/// The laptop-scale workload over a published trace shape.
-pub fn laptop_workload(trace: TraceKind, seed: u64) -> WorkloadConfig {
+/// The workload at a given preset scale over a published trace shape.
+pub fn workload_preset(preset: Preset, trace: TraceKind, seed: u64) -> WorkloadConfig {
     WorkloadConfig {
-        keyspace: Keyspace::new(LAPTOP_KEYS, seed),
+        keyspace: Keyspace::new(preset.keys(), seed),
         zipf_exponent: ZIPF,
         items_per_request: ITEMS_PER_REQUEST,
-        peak_rate: PEAK_RATE,
+        peak_rate: preset.peak_rate(),
         trace: trace.demand_trace(),
     }
+}
+
+/// A full experiment config at a given preset scale with scripted scaling
+/// actions. `initial_nodes` is the actual tier width.
+pub fn experiment_preset(
+    preset: Preset,
+    trace: TraceKind,
+    initial_nodes: u32,
+    policy: MigrationPolicy,
+    scheduled: Vec<(SimTime, ScaleAction)>,
+    seed: u64,
+) -> ExperimentConfig {
+    ExperimentConfig {
+        cluster: cluster_preset(preset, initial_nodes),
+        workload: workload_preset(preset, trace, seed),
+        policy,
+        autoscaler: None,
+        scheduled,
+        prefill_top_ranks: preset.prefill_ranks(),
+        costs: MigrationCosts::default(),
+        faults: FaultPlan::new(),
+        healing: None,
+        master: Default::default(),
+        seed,
+    }
+}
+
+/// The laptop-scale deployment: 10 × 64 MB nodes, r_DB ≈ 167 req/s.
+pub fn laptop_cluster(initial_nodes: u32) -> ClusterConfig {
+    cluster_preset(Preset::Laptop, initial_nodes)
+}
+
+/// The laptop-scale workload over a published trace shape.
+pub fn laptop_workload(trace: TraceKind, seed: u64) -> WorkloadConfig {
+    workload_preset(Preset::Laptop, trace, seed)
 }
 
 /// A full experiment config with scripted scaling actions.
@@ -72,19 +236,14 @@ pub fn laptop_experiment(
     scheduled: Vec<(SimTime, ScaleAction)>,
     seed: u64,
 ) -> ExperimentConfig {
-    ExperimentConfig {
-        cluster: laptop_cluster(initial_nodes),
-        workload: laptop_workload(trace, seed),
+    experiment_preset(
+        Preset::Laptop,
+        trace,
+        initial_nodes,
         policy,
-        autoscaler: None,
         scheduled,
-        prefill_top_ranks: PREFILL_RANKS,
-        costs: MigrationCosts::default(),
-        faults: FaultPlan::new(),
-        healing: None,
-        master: Default::default(),
         seed,
-    }
+    )
 }
 
 /// Restoration threshold used in degradation summaries: "stable" means the
@@ -176,6 +335,45 @@ mod tests {
     }
 
     #[test]
+    fn paper_preset_preserves_the_operating_ratios() {
+        let laptop = cluster_preset(Preset::Laptop, 10);
+        let paper = cluster_preset(Preset::Paper, Preset::Paper.scale_nodes(10));
+        assert_eq!(paper.initial_nodes, 100);
+        // Same 25:1 peak-lookups to database-capacity ratio on both scales.
+        let ratio = |rate: f64, c: &ClusterConfig| rate * ITEMS_PER_REQUEST as f64 / c.r_db();
+        let lr = ratio(PEAK_RATE, &laptop);
+        let pr = ratio(PAPER_PEAK_RATE, &paper);
+        assert!((lr - pr).abs() < 0.1, "laptop {lr} vs paper {pr}");
+        assert!((paper.r_db() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preset_resolution_precedence() {
+        assert_eq!(Preset::from_name("Paper"), Some(Preset::Paper));
+        assert_eq!(Preset::from_name("laptop"), Some(Preset::Laptop));
+        assert_eq!(Preset::from_name("desk"), None);
+        assert_eq!(
+            Preset::from_args(&["--preset", "paper"]),
+            Some(Preset::Paper)
+        );
+        assert_eq!(Preset::from_args(&["--preset=paper"]), Some(Preset::Paper));
+        assert_eq!(Preset::from_args(&["--smoke"]), None);
+        assert_eq!(Preset::default(), Preset::Laptop);
+    }
+
+    #[test]
+    fn laptop_helpers_are_the_laptop_preset() {
+        assert_eq!(laptop_cluster(10), cluster_preset(Preset::Laptop, 10));
+        let a = laptop_workload(TraceKind::FacebookEtc, 7);
+        let b = workload_preset(Preset::Laptop, TraceKind::FacebookEtc, 7);
+        assert_eq!(a.keyspace, b.keyspace);
+        assert_eq!(a.peak_rate, b.peak_rate);
+        assert_eq!(a.items_per_request, b.items_per_request);
+        assert_eq!(Preset::Laptop.prefill_ranks(), PREFILL_RANKS);
+        assert_eq!(Preset::Paper.keys(), PAPER_KEYS);
+    }
+
+    #[test]
     fn workload_uses_trace_shape() {
         let w = laptop_workload(TraceKind::FacebookSys, 1);
         assert_eq!(w.trace.samples().len(), 60);
@@ -212,6 +410,7 @@ mod tests {
             telemetry: Default::default(),
             probes_sent: 0,
             detector_transitions: 0,
+            profiler_tracked_keys: 0,
             journal: Default::default(),
         }
     }

@@ -7,4 +7,5 @@
 //! cores) while keeping output byte-identical to a serial run.
 
 pub mod exp;
+pub mod rss;
 pub mod sweep;

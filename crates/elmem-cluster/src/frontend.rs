@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use elmem_hash::HashRing;
-use elmem_util::{DetRng, KeyId, NodeId, SimTime};
+use elmem_util::{DetRng, KeyId, NodeId, NodeMap, SimTime};
 use elmem_workload::{Keyspace, WebRequest};
 
 use crate::breaker::{BreakerState, CircuitBreaker};
@@ -12,6 +12,10 @@ use crate::db::DbModel;
 use crate::telemetry::{ClusterTelemetry, LookupClass};
 use crate::tier::CacheTier;
 use elmem_util::TelemetryConfig;
+
+/// Key count below which [`Cluster::prefill`] always runs the plain serial
+/// loop — fan-out setup isn't worth it for laptop-scale fills.
+pub const PREFILL_FANOUT_MIN: usize = 100_000;
 
 /// Result of serving one web request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +65,8 @@ pub struct Cluster {
     secondary: Option<HashRing>,
     promoted: u64,
     secondary_hits: u64,
-    breakers: BTreeMap<NodeId, CircuitBreaker>,
+    // Id-indexed: walked once per lookup (hot path).
+    breakers: NodeMap<CircuitBreaker>,
     client_timeouts: u64,
     fast_failovers: u64,
     telemetry: ClusterTelemetry,
@@ -89,7 +94,7 @@ impl Cluster {
             secondary: None,
             promoted: 0,
             secondary_hits: 0,
-            breakers: BTreeMap::new(),
+            breakers: NodeMap::new(),
             client_timeouts: 0,
             fast_failovers: 0,
             telemetry: ClusterTelemetry::default(),
@@ -267,11 +272,11 @@ impl Cluster {
         fetch.completion() - now
     }
 
+    #[inline]
     fn breaker(&mut self, node_id: NodeId) -> &mut CircuitBreaker {
         let config = self.tier.config().breaker;
         self.breakers
-            .entry(node_id)
-            .or_insert_with(|| CircuitBreaker::new(config))
+            .get_or_insert_with(node_id, || CircuitBreaker::new(config))
     }
 
     fn try_secondary(&mut self, key: KeyId, primary: NodeId, now: SimTime) -> Option<SimTime> {
@@ -348,12 +353,26 @@ impl Cluster {
 
     /// The breaker state for one node, if any request ever touched it.
     pub fn breaker_state(&self, node_id: NodeId) -> Option<BreakerState> {
-        self.breakers.get(&node_id).map(|b| b.state())
+        self.breakers.get(node_id).map(|b| b.state())
     }
 
     /// Pre-fills caches by directly setting keys on their current owners
     /// (used to start experiments warm, like the paper's steady state).
+    ///
+    /// Above [`PREFILL_FANOUT_MIN`] keys (and `par_jobs() > 1`) the fill
+    /// fans out one worker per owning node: ring lookups are a parallel
+    /// pure map, timestamps are assigned in one serial pass in global key
+    /// order (exactly the serial loop's assignment), and each node's sets
+    /// run in their original relative order against that node's own store
+    /// — stores and their LRU clocks are per-node, so the final state is
+    /// byte-identical to the serial fill at any worker count.
     pub fn prefill(&mut self, keys: impl Iterator<Item = KeyId>, start: SimTime) {
+        let jobs = elmem_util::par::par_jobs();
+        let keys: Vec<KeyId> = keys.collect();
+        if jobs > 1 && keys.len() >= PREFILL_FANOUT_MIN {
+            self.prefill_fanout(&keys, start, jobs);
+            return;
+        }
         let mut t = start;
         for key in keys {
             if let Some(node_id) = self.tier.node_for_key(key) {
@@ -364,6 +383,73 @@ impl Cluster {
                 }
                 t += SimTime::from_nanos(1);
             }
+        }
+    }
+
+    /// The parallel prefill path: group `(key, timestamp)` per owning node
+    /// serially, then fill every involved node's store concurrently
+    /// (driven through the thread-safe concurrent facade, one worker per
+    /// node, per-node order preserved).
+    fn prefill_fanout(&mut self, keys: &[KeyId], start: SimTime, jobs: usize) {
+        use elmem_store::{ConcurrentSlabStore, SlabStore, StoreConfig};
+
+        // Owner lookup is a pure function of the ring — parallel map.
+        let tier = &self.tier;
+        let owners: Vec<Option<NodeId>> =
+            elmem_util::par::par_map_indexed(jobs, keys, |_, &k| tier.node_for_key(k));
+
+        // Serial pass: the timestamp sequence is identical to the serial
+        // loop's (`t` advances only for owned keys, online or not), and
+        // grouping preserves each node's relative set order.
+        let mut t = start;
+        let mut per_node: BTreeMap<NodeId, Vec<(KeyId, SimTime)>> = BTreeMap::new();
+        for (&key, &owner) in keys.iter().zip(&owners) {
+            if let Some(node_id) = owner {
+                per_node.entry(node_id).or_default().push((key, t));
+                t += SimTime::from_nanos(1);
+            }
+        }
+
+        // Move each online node's store out (a one-page placeholder holds
+        // the slot), fill all of them in parallel through the concurrent
+        // facade, and reinstall in node order. The `Mutex<Option<_>>`
+        // wrapper only ferries ownership into the worker; each store is
+        // taken exactly once.
+        type FillJob = (
+            NodeId,
+            std::sync::Mutex<Option<SlabStore>>,
+            Vec<(KeyId, SimTime)>,
+        );
+        let mut work: Vec<FillJob> = Vec::new();
+        for (node_id, items) in per_node {
+            let node = self.tier.node_mut(node_id).expect("member node exists");
+            if !node.is_online() {
+                continue; // timestamps consumed above, sets skipped
+            }
+            let store = std::mem::replace(
+                &mut node.store,
+                SlabStore::new(StoreConfig::with_memory(elmem_util::ByteSize::PAGE)),
+            );
+            work.push((node_id, std::sync::Mutex::new(Some(store)), items));
+        }
+        let keyspace = &self.keyspace;
+        let filled = elmem_util::par::par_map_indexed(jobs, &work, |_, (_, cell, items)| {
+            let store = cell
+                .lock()
+                .expect("fill worker panicked")
+                .take()
+                .expect("each store is filled exactly once");
+            let cstore = ConcurrentSlabStore::from_serial(store);
+            for &(key, at) in items {
+                let _ = cstore.set(key, keyspace.value_size(key), at);
+            }
+            cstore.into_serial()
+        });
+        for ((node_id, _, _), store) in work.into_iter().zip(filled) {
+            self.tier
+                .node_mut(node_id)
+                .expect("member node exists")
+                .store = store;
         }
     }
 
@@ -430,6 +516,40 @@ mod tests {
         c.prefill((0..1000).map(KeyId), SimTime::ZERO);
         let out = c.handle(&req(1, &[5, 500, 999]));
         assert_eq!(out.hits, 3);
+    }
+
+    #[test]
+    fn prefill_fanout_is_byte_identical_to_serial() {
+        // Same key stream through the serial loop and the per-node fan-out
+        // (forced directly, below the public threshold), with one node
+        // offline to exercise the timestamp-consumed-but-set-skipped rule.
+        let keys: Vec<KeyId> = (0..4000).rev().map(KeyId).collect();
+        let start = SimTime::from_millis(3);
+
+        let mut serial = cluster();
+        serial.tier.power_off(&[NodeId(1)]);
+        let mut t = start;
+        for &key in &keys {
+            if let Some(node_id) = serial.tier.node_for_key(key) {
+                let size = serial.keyspace.value_size(key);
+                let node = serial.tier.node_mut(node_id).unwrap();
+                if node.is_online() {
+                    let _ = node.store.set(key, size, t);
+                }
+                t += SimTime::from_nanos(1);
+            }
+        }
+
+        for jobs in [2, 4] {
+            let mut fanout = cluster();
+            fanout.tier.power_off(&[NodeId(1)]);
+            fanout.prefill_fanout(&keys, start, jobs);
+            for node in serial.tier.membership().members() {
+                let a = serial.tier.node(*node).unwrap().store.dump_metadata();
+                let b = fanout.tier.node(*node).unwrap().store.dump_metadata();
+                assert_eq!(a, b, "node {node:?} diverged at jobs={jobs}");
+            }
+        }
     }
 
     #[test]

@@ -15,10 +15,8 @@
 //! events respect [`TelemetryConfig::trace_capacity`], with capacity 0 —
 //! the default for a bare `Cluster::new` — tracing nothing.
 
-use std::collections::BTreeMap;
-
 use elmem_util::telemetry::{BreakerPhase, EventKind, EventTrace};
-use elmem_util::{LatencyHistogram, NodeId, SimTime, TelemetryConfig};
+use elmem_util::{LatencyHistogram, NodeId, NodeMap, SimTime, TelemetryConfig};
 
 use crate::breaker::BreakerState;
 
@@ -61,8 +59,9 @@ pub struct ClusterTelemetry {
     pub get_miss: LatencyHistogram,
     /// Latency of lookups whose owner was unreachable (timeout/failover).
     pub timeout_path: LatencyHistogram,
-    /// Per-node counters, keyed by node id (deterministic iteration).
-    pub per_node: BTreeMap<NodeId, NodeCounters>,
+    /// Per-node counters, id-indexed (ascending-id iteration, exactly
+    /// like the `BTreeMap` this replaced; bumped on every lookup).
+    pub per_node: NodeMap<NodeCounters>,
 }
 
 impl ClusterTelemetry {
@@ -75,11 +74,13 @@ impl ClusterTelemetry {
 
     /// Counters for one node (zeroes if it never served a lookup).
     pub fn node_counters(&self, node: NodeId) -> NodeCounters {
-        self.per_node.get(&node).copied().unwrap_or_default()
+        self.per_node.get(node).copied().unwrap_or_default()
     }
 
+    #[inline]
     fn node_mut(&mut self, node: NodeId) -> &mut NodeCounters {
-        self.per_node.entry(node).or_default()
+        self.per_node
+            .get_or_insert_with(node, NodeCounters::default)
     }
 
     /// Records one classified lookup: its latency into the matching

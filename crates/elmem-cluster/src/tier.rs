@@ -1,10 +1,8 @@
 //! The Memcached tier: nodes plus the client-visible membership.
 
-use std::collections::BTreeMap;
-
 use elmem_hash::Membership;
 use elmem_store::StoreConfig;
-use elmem_util::{ByteSize, ElmemError, NodeId, SimTime};
+use elmem_util::{ByteSize, ElmemError, NodeId, NodeMap, SimTime};
 
 use crate::config::ClusterConfig;
 use crate::node::CacheNode;
@@ -21,7 +19,9 @@ use crate::node::CacheNode;
 ///   added to the membership.
 #[derive(Debug, Clone)]
 pub struct CacheTier {
-    nodes: BTreeMap<NodeId, CacheNode>,
+    // Id-indexed: the serving path resolves the owner node on every
+    // lookup, so this must be a slot read, not a tree walk.
+    nodes: NodeMap<CacheNode>,
     membership: Membership,
     config: ClusterConfig,
 }
@@ -79,8 +79,9 @@ impl CacheTier {
     /// # Errors
     ///
     /// [`ElmemError::UnknownNode`] for an unknown id.
+    #[inline]
     pub fn node(&self, id: NodeId) -> Result<&CacheNode, ElmemError> {
-        self.nodes.get(&id).ok_or(ElmemError::UnknownNode(id.0))
+        self.nodes.get(id).ok_or(ElmemError::UnknownNode(id.0))
     }
 
     /// Mutable node access.
@@ -88,8 +89,9 @@ impl CacheTier {
     /// # Errors
     ///
     /// [`ElmemError::UnknownNode`] for an unknown id.
+    #[inline]
     pub fn node_mut(&mut self, id: NodeId) -> Result<&mut CacheNode, ElmemError> {
-        self.nodes.get_mut(&id).ok_or(ElmemError::UnknownNode(id.0))
+        self.nodes.get_mut(id).ok_or(ElmemError::UnknownNode(id.0))
     }
 
     /// Two nodes mutably at once (migration source and destination).
@@ -108,27 +110,16 @@ impl CacheTier {
                 "node pair must be distinct, got {a} twice"
             )));
         }
-        if !self.nodes.contains_key(&a) {
+        if !self.nodes.contains(a) {
             return Err(ElmemError::UnknownNode(a.0));
         }
-        if !self.nodes.contains_key(&b) {
+        if !self.nodes.contains(b) {
             return Err(ElmemError::UnknownNode(b.0));
         }
-        // Safe split: BTreeMap has no get_pair_mut; use pointers via
-        // iter_mut filtering (two distinct keys).
-        let mut first: Option<&mut CacheNode> = None;
-        let mut second: Option<&mut CacheNode> = None;
-        for (id, node) in self.nodes.iter_mut() {
-            if *id == a {
-                first = Some(node);
-            } else if *id == b {
-                second = Some(node);
-            }
-        }
-        Ok((
-            first.expect("checked membership above"),
-            second.expect("checked membership above"),
-        ))
+        Ok(self
+            .nodes
+            .get_pair_mut(a, b)
+            .expect("checked membership above"))
     }
 
     /// Provisions `count` fresh nodes *outside* the membership (scale-out
@@ -169,7 +160,7 @@ impl CacheTier {
     /// Propagates membership errors (already a member / unknown node).
     pub fn commit_add(&mut self, ids: &[NodeId]) -> Result<(), ElmemError> {
         for id in ids {
-            if !self.nodes.contains_key(id) {
+            if !self.nodes.contains(*id) {
                 return Err(ElmemError::UnknownNode(id.0));
             }
         }
@@ -185,7 +176,7 @@ impl CacheTier {
     pub fn commit_remove(&mut self, ids: &[NodeId]) -> Result<(), ElmemError> {
         self.membership.remove(ids)?;
         for id in ids {
-            if let Some(n) = self.nodes.get_mut(id) {
+            if let Some(n) = self.nodes.get_mut(*id) {
                 n.power_off();
             }
         }
@@ -217,7 +208,7 @@ impl CacheTier {
     /// final discard of the secondary cache).
     pub fn power_off(&mut self, ids: &[NodeId]) {
         for id in ids {
-            if let Some(n) = self.nodes.get_mut(id) {
+            if let Some(n) = self.nodes.get_mut(*id) {
                 n.power_off();
             }
         }
@@ -255,7 +246,7 @@ impl CacheTier {
             .members()
             .iter()
             .copied()
-            .filter(|&id| self.nodes.get(&id).is_some_and(|n| n.is_crashed()))
+            .filter(|&id| self.nodes.get(id).is_some_and(|n| n.is_crashed()))
             .collect();
         let members = self.membership.len();
         if evictable.len() >= members {

@@ -17,16 +17,17 @@
 //!   can only observe reuse at horizons up to `W` and silently classifies
 //!   slower re-references as compulsory misses, wildly under-sizing the
 //!   tier. We therefore run a stack-distance engine *continuously* over
-//!   the sampled stream (the paper uses MIMIR for this; we default to the
-//!   exact Fenwick engine, which at O(log n) per access is still far below
-//!   the paper's "less than a second" budget, and keep
-//!   [`elmem_stackdist::Mimir`] available where O(1) matters);
+//!   the sampled stream (the paper uses MIMIR for this; we run the
+//!   [`AdaptiveStackDistance`] engine — exact Fenwick distances while the
+//!   sampled population is small (laptop scale, where the pinned golden
+//!   traces live), handing off to MIMIR's O(1) buckets past the
+//!   cluster-scale key threshold);
 //! * **warm-up guard** — right after startup the sampled stream has seen
 //!   few re-accesses, so distance quantiles are biased toward the hot
 //!   core; the AutoScaler abstains until `min_observations` lookups have
 //!   been sampled.
 
-use elmem_stackdist::ExactStackDistance;
+use elmem_stackdist::AdaptiveStackDistance;
 use elmem_util::{ByteSize, KeyId, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -130,7 +131,7 @@ impl ScalingHint {
 #[derive(Debug, Clone)]
 pub struct AutoScaler {
     config: AutoScalerConfig,
-    engine: ExactStackDistance,
+    engine: AdaptiveStackDistance,
     /// Ring buffer of recent warm-access distances (bytes).
     distances: Vec<u64>,
     pos: usize,
@@ -157,7 +158,7 @@ impl AutoScaler {
             "spatial_sample_rate out of (0, 1]"
         );
         AutoScaler {
-            engine: ExactStackDistance::new(),
+            engine: AdaptiveStackDistance::new(),
             distances: Vec::with_capacity(config.distance_samples.min(1 << 20)),
             pos: 0,
             observed: 0,
@@ -206,6 +207,18 @@ impl AutoScaler {
     /// Observed lookups that were re-accesses (warm).
     pub fn warm(&self) -> u64 {
         self.warm
+    }
+
+    /// Distinct keys the stack-distance engine currently tracks. Bounded
+    /// by the exact→MIMIR switch threshold for the adaptive engine;
+    /// grows with every distinct key ever observed for the legacy one.
+    pub fn profiler_tracked_keys(&self) -> usize {
+        self.engine.tracked_keys()
+    }
+
+    /// Whether the stack-distance engine is still in an exact phase.
+    pub fn profiler_is_exact(&self) -> bool {
+        self.engine.is_exact()
     }
 
     /// Eq. (1): the minimum hit rate so that at most r_DB req/s miss.

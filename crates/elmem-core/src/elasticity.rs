@@ -123,6 +123,13 @@ pub struct ExperimentResult {
     pub probes_sent: u64,
     /// Failure-detector state transitions (flap metric; 0 without healing).
     pub detector_transitions: u64,
+    /// Distinct keys the autoscaler's stack-distance engine still tracked
+    /// when the run ended (0 without an autoscaler). The adaptive engine
+    /// caps this at the exact→MIMIR switch threshold (MIMIR evicts as its
+    /// buckets retire); the preserved legacy engine grows it with every
+    /// distinct key ever observed — `tab_scale`'s bounded-memory
+    /// assertion compares the two.
+    pub profiler_tracked_keys: usize,
     /// The run's full telemetry story: event trace, latency histograms,
     /// counter time series, per-node rows. Byte-identical (via
     /// [`TelemetryDump::to_json`]) across same-seed runs.
@@ -197,6 +204,13 @@ impl ScalerInstance {
         match self {
             ScalerInstance::Reactive(a) => a.decide(now, rate, current),
             ScalerInstance::Predictive(p) => p.decide(now, rate, current),
+        }
+    }
+
+    fn profiler_tracked_keys(&self) -> usize {
+        match self {
+            ScalerInstance::Reactive(a) => a.profiler_tracked_keys(),
+            ScalerInstance::Predictive(p) => p.profiler_tracked_keys(),
         }
     }
 }
@@ -650,6 +664,7 @@ pub fn run_experiment_capture(
         breaker_transitions: cluster.breaker_transitions(),
         probes_sent: detector.as_ref().map_or(0, |d| d.probes_sent()),
         detector_transitions: detector.as_ref().map_or(0, |d| d.transitions()),
+        profiler_tracked_keys: autoscaler.as_ref().map_or(0, |s| s.profiler_tracked_keys()),
         telemetry,
         journal: master.journal().clone(),
     };

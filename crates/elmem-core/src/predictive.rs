@@ -103,6 +103,11 @@ impl PredictiveAutoScaler {
         self.inner.epoch_elapsed(now)
     }
 
+    /// Distinct keys the reactive core's stack-distance engine tracks.
+    pub fn profiler_tracked_keys(&self) -> usize {
+        self.inner.profiler_tracked_keys()
+    }
+
     /// The current demand forecast `lead_epochs` ahead, after at least one
     /// rate observation.
     pub fn forecast(&self) -> Option<f64> {

@@ -6,8 +6,7 @@
 //! access to key `k` is then the sum of footprints at positions after `k`'s
 //! previous access — i.e. the unique bytes touched in between.
 
-use std::collections::HashMap;
-
+use elmem_util::hashutil::FastIntMap;
 use elmem_util::KeyId;
 
 /// Fenwick tree over u64 weights.
@@ -21,6 +20,23 @@ impl Fenwick {
         Fenwick {
             tree: vec![0; n + 1],
         }
+    }
+
+    /// Builds a tree of capacity `n` whose first positions hold `weights`,
+    /// in O(n) (the in-place construction), instead of `weights.len()`
+    /// O(log n) point inserts.
+    fn from_weights(n: usize, weights: impl Iterator<Item = u64>) -> Self {
+        let mut tree = vec![0u64; n + 1];
+        for (slot, w) in tree[1..].iter_mut().zip(weights) {
+            *slot = w;
+        }
+        for i in 1..=n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                tree[parent] += tree[i];
+            }
+        }
+        Fenwick { tree }
     }
 
     fn len(&self) -> usize {
@@ -97,9 +113,16 @@ impl Fenwick {
 #[derive(Debug, Clone)]
 pub struct ExactStackDistance {
     fenwick: Fenwick,
-    last_pos: HashMap<KeyId, usize>,
-    footprint: HashMap<KeyId, u64>,
+    /// key → `(footprint << 32) | last_position`, one deterministic-hash
+    /// probe per record instead of two `HashMap` lookups. Footprints and
+    /// positions both fit u32: item footprints are capped far below 4 GB,
+    /// and positions are bounded by the tree capacity, which compaction
+    /// keeps near the live-key count.
+    slots: FastIntMap<KeyId, u64>,
     time: usize,
+    /// Reusable compaction scratch (position, key), kept across
+    /// compactions so steady-state recording never allocates.
+    scratch: Vec<(u32, KeyId)>,
 }
 
 impl Default for ExactStackDistance {
@@ -113,9 +136,9 @@ impl ExactStackDistance {
     pub fn new() -> Self {
         ExactStackDistance {
             fenwick: Fenwick::with_capacity(1024),
-            last_pos: HashMap::new(),
-            footprint: HashMap::new(),
+            slots: FastIntMap::default(),
             time: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -126,7 +149,7 @@ impl ExactStackDistance {
 
     /// Number of distinct keys seen.
     pub fn unique_keys(&self) -> usize {
-        self.last_pos.len()
+        self.slots.len()
     }
 
     /// Records an access to `key` whose item footprint is `bytes`; returns
@@ -135,29 +158,43 @@ impl ExactStackDistance {
     /// The distance *includes* the key's own footprint, so a distance `d`
     /// means the access hits in any LRU cache of capacity `>= d` bytes.
     pub fn record(&mut self, key: KeyId, bytes: u64) -> Option<u64> {
+        debug_assert!(bytes <= u64::from(u32::MAX), "footprint exceeds u32");
         if self.time >= self.fenwick.len() {
             self.compact_or_grow();
         }
         let pos = self.time;
-        let result = match self.last_pos.get(&key).copied() {
-            Some(prev) => {
+        debug_assert!(pos <= u32::MAX as usize, "position exceeds u32");
+        let result = match self.slots.insert(key, (bytes << 32) | pos as u64) {
+            Some(old) => {
                 // Unique bytes of *other* keys accessed strictly after
                 // `prev`: the prefix through `prev` includes this key's own
                 // weight, so the suffix beyond it is exactly the others.
                 // Add the item's own (new) footprint — it must itself fit
                 // in the cache for the access to hit.
+                let prev = (old & 0xffff_ffff) as usize;
+                let own = old >> 32;
                 let others = self.total() - self.fenwick.prefix(prev);
-                let own = self.footprint[&key];
                 self.fenwick.add(prev, -(own as i128));
                 Some(others + bytes)
             }
             None => None,
         };
         self.fenwick.add(pos, bytes as i128);
-        self.last_pos.insert(key, pos);
-        self.footprint.insert(key, bytes);
         self.time += 1;
         result
+    }
+
+    /// The tracked keys oldest-first (by recency of last access), with
+    /// their footprints — the hand-off order when an adaptive profile
+    /// replays its exact history into a MIMIR estimator.
+    pub fn entries_by_recency(&self) -> Vec<(KeyId, u64)> {
+        let mut order: Vec<(u32, KeyId, u64)> = self
+            .slots
+            .iter()
+            .map(|(k, &packed)| ((packed & 0xffff_ffff) as u32, *k, packed >> 32))
+            .collect();
+        order.sort_unstable_by_key(|&(pos, _, _)| pos);
+        order.into_iter().map(|(_, k, b)| (k, b)).collect()
     }
 
     fn total(&self) -> u64 {
@@ -171,18 +208,28 @@ impl ExactStackDistance {
     /// When positions run out: if many positions are dead (keys re-accessed),
     /// compact live positions to the front; otherwise grow the tree.
     fn compact_or_grow(&mut self) {
-        let live = self.last_pos.len();
+        let live = self.slots.len();
         if live * 2 <= self.time {
             // Compact: renumber live keys by their current position order.
-            let mut order: Vec<(usize, KeyId)> =
-                self.last_pos.iter().map(|(k, &p)| (p, *k)).collect();
-            order.sort_unstable();
-            let mut fenwick = Fenwick::with_capacity(self.fenwick.len());
-            for (new_pos, &(_, key)) in order.iter().enumerate() {
-                fenwick.add(new_pos, self.footprint[&key] as i128);
-                self.last_pos.insert(key, new_pos);
+            // The rebuilt tree is sized to the live population (plus
+            // doubling headroom), *not* the old capacity — the previous
+            // full-capacity preallocation meant one burst of unique keys
+            // pinned the high-water tree size forever.
+            self.scratch.clear();
+            self.scratch.extend(
+                self.slots
+                    .iter()
+                    .map(|(k, &packed)| ((packed & 0xffff_ffff) as u32, *k)),
+            );
+            self.scratch.sort_unstable();
+            let cap = (live * 2).max(1024);
+            for (new_pos, &(_, key)) in self.scratch.iter().enumerate() {
+                let packed = self.slots.get_mut(&key).expect("scratch key is live");
+                *packed = (*packed & !0xffff_ffffu64) | new_pos as u64;
             }
-            self.fenwick = fenwick;
+            let slots = &self.slots;
+            self.fenwick =
+                Fenwick::from_weights(cap, self.scratch.iter().map(|(_, key)| slots[key] >> 32));
             self.time = live;
         } else {
             self.fenwick.grow();
@@ -317,6 +364,43 @@ mod tests {
         let mut e = ExactStackDistance::new();
         let got: Vec<Option<u64>> = trace.iter().map(|&(k, b)| e.record(KeyId(k), b)).collect();
         assert_eq!(got, brute_force(&trace));
+    }
+
+    #[test]
+    fn compaction_rightsizes_the_tree() {
+        let mut e = ExactStackDistance::new();
+        for k in 0..5000u64 {
+            e.record(KeyId(k), 1);
+        }
+        let grown = e.fenwick.len();
+        assert!(grown >= 8192, "unique burst should have doubled the tree");
+        // Cycle the same keys: positions die, compaction fires, and the
+        // rebuilt tree must be sized to the live population — not the old
+        // capacity (the pre-fix code pinned the high-water size forever).
+        for _round in 0..10 {
+            for k in 0..5000u64 {
+                e.record(KeyId(k), 1);
+            }
+        }
+        assert!(
+            e.fenwick.len() <= 2 * 5000,
+            "tree kept high-water capacity {}",
+            e.fenwick.len()
+        );
+        assert_eq!(e.record(KeyId(0), 1), Some(5000));
+    }
+
+    #[test]
+    fn entries_by_recency_is_oldest_first() {
+        let mut e = ExactStackDistance::new();
+        e.record(KeyId(3), 30);
+        e.record(KeyId(1), 10);
+        e.record(KeyId(2), 20);
+        e.record(KeyId(3), 31); // key 3 becomes most recent
+        assert_eq!(
+            e.entries_by_recency(),
+            vec![(KeyId(1), 10), (KeyId(2), 20), (KeyId(3), 31)]
+        );
     }
 
     #[test]

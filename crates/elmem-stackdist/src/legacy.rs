@@ -1,0 +1,202 @@
+//! The pre-optimization exact engine, preserved verbatim.
+//!
+//! This is the exact stack-distance implementation the repo shipped
+//! before the cluster-scale fast path landed: two `std::collections::
+//! HashMap`s (SipHash, one probe each for position and footprint per
+//! record), a Fenwick tree indexed by raw access *positions* that keeps
+//! its high-water capacity forever once grown, and a fresh ordering
+//! `Vec` allocated on every compaction. It is kept for two jobs:
+//!
+//! * **reference**: the packed [`ExactStackDistance`](crate::
+//!   ExactStackDistance) must produce identical distances — the
+//!   equivalence tests replay shared traces through both engines;
+//! * **benchmark**: `tab_scale`'s pre-opt column runs this engine (via
+//!   [`set_legacy_exact`](crate::set_legacy_exact)) so the committed
+//!   baseline measures the code the optimization actually replaced, on
+//!   the same machine, from the same binary.
+//!
+//! Do not "fix" this module — its inefficiencies are the measurement.
+
+use std::collections::HashMap;
+
+use elmem_util::KeyId;
+
+/// Fenwick tree over u64 weights (pre-optimization layout).
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn with_capacity(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    fn add(&mut self, i: usize, delta: i128) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i128 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i + 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    fn grow(&mut self) {
+        let old_n = self.len();
+        for i in (1..=old_n).rev() {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= old_n {
+                self.tree[parent] -= self.tree[i];
+            }
+        }
+        let new_n = (old_n * 2).max(1024);
+        self.tree.resize(new_n + 1, 0);
+        for i in 1..=new_n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= new_n {
+                self.tree[parent] += self.tree[i];
+            }
+        }
+    }
+}
+
+/// The pre-optimization exact stack-distance engine (byte-weighted).
+///
+/// Same contract as [`ExactStackDistance`](crate::ExactStackDistance):
+/// `record` returns `None` for a cold access, otherwise the unique bytes
+/// touched since the key's previous access (including its own new
+/// footprint).
+#[derive(Debug, Clone)]
+pub struct LegacyExactStackDistance {
+    fenwick: Fenwick,
+    last_pos: HashMap<KeyId, usize>,
+    footprint: HashMap<KeyId, u64>,
+    time: usize,
+}
+
+impl Default for LegacyExactStackDistance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LegacyExactStackDistance {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        LegacyExactStackDistance {
+            fenwick: Fenwick::with_capacity(1024),
+            last_pos: HashMap::new(),
+            footprint: HashMap::new(),
+            time: 0,
+        }
+    }
+
+    /// Number of accesses recorded.
+    pub fn accesses(&self) -> usize {
+        self.time
+    }
+
+    /// Number of distinct keys seen.
+    pub fn unique_keys(&self) -> usize {
+        self.last_pos.len()
+    }
+
+    /// Records an access to `key` whose item footprint is `bytes`.
+    pub fn record(&mut self, key: KeyId, bytes: u64) -> Option<u64> {
+        if self.time >= self.fenwick.len() {
+            self.compact_or_grow();
+        }
+        let pos = self.time;
+        let result = match self.last_pos.get(&key).copied() {
+            Some(prev) => {
+                let others = self.total() - self.fenwick.prefix(prev);
+                let own = self.footprint[&key];
+                self.fenwick.add(prev, -(own as i128));
+                Some(others + bytes)
+            }
+            None => None,
+        };
+        self.fenwick.add(pos, bytes as i128);
+        self.last_pos.insert(key, pos);
+        self.footprint.insert(key, bytes);
+        self.time += 1;
+        result
+    }
+
+    fn total(&self) -> u64 {
+        if self.fenwick.len() == 0 {
+            0
+        } else {
+            self.fenwick.prefix(self.fenwick.len() - 1)
+        }
+    }
+
+    fn compact_or_grow(&mut self) {
+        let live = self.last_pos.len();
+        if live * 2 <= self.time {
+            // Note the two pre-optimization costs the packed engine fixed:
+            // the rebuilt tree keeps the old (high-water) capacity, and the
+            // rebuild itself is O(n log n) point inserts.
+            let mut order: Vec<(usize, KeyId)> =
+                self.last_pos.iter().map(|(k, &p)| (p, *k)).collect();
+            order.sort_unstable();
+            let mut fenwick = Fenwick::with_capacity(self.fenwick.len());
+            for (new_pos, &(_, key)) in order.iter().enumerate() {
+                fenwick.add(new_pos, self.footprint[&key] as i128);
+                self.last_pos.insert(key, new_pos);
+            }
+            self.fenwick = fenwick;
+            self.time = live;
+        } else {
+            self.fenwick.grow();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactStackDistance;
+    use elmem_util::DetRng;
+
+    /// The packed engine and the preserved legacy engine must agree on
+    /// every distance of a shared trace — including across compactions
+    /// and growths on both sides.
+    #[test]
+    fn packed_engine_matches_legacy_reference() {
+        let mut rng = DetRng::seed(11);
+        let mut legacy = LegacyExactStackDistance::new();
+        let mut packed = ExactStackDistance::new();
+        for i in 0..60_000u64 {
+            // Mix a hot core with a cold tail so positions both die
+            // (compaction) and accumulate (growth).
+            let key = if i % 3 == 0 {
+                rng.next_below(200)
+            } else {
+                rng.next_below(20_000)
+            };
+            let bytes = 1 + rng.next_below(4096);
+            assert_eq!(
+                legacy.record(KeyId(key), bytes),
+                packed.record(KeyId(key), bytes),
+                "divergence at access {i} key {key}"
+            );
+        }
+        assert_eq!(legacy.unique_keys(), packed.unique_keys());
+    }
+}

@@ -7,13 +7,19 @@
 //! key in bucket *i* is estimated to have stack distance equal to the total
 //! weight of hotter buckets plus half of bucket *i*'s weight. The key then
 //! moves to the front bucket; when the front bucket fills, a new front is
-//! opened and the two oldest buckets merge ("rounder" aging).
+//! opened and the oldest bucket retires ("rounder" aging), **evicting** any
+//! key still living in it — a retired key reads as cold on its next access,
+//! exactly like a key the modeled cache would long since have evicted. The
+//! tracked population is therefore bounded by
+//! `num_buckets × bucket_capacity` keys, no matter how many distinct keys
+//! the stream contains.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use elmem_util::hashutil::FastIntMap;
 use elmem_util::KeyId;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Bucket {
     /// Monotone tag identifying the bucket; larger = more recent.
     tag: u64,
@@ -21,6 +27,10 @@ struct Bucket {
     count: u64,
     /// Sum of those keys' footprints.
     bytes: u64,
+    /// Keys inserted while this bucket was the front. Lazy: a key
+    /// re-accessed since carries a newer tag in `keys` and the entry here
+    /// is stale. Length is capped at `bucket_capacity` by the split rule.
+    members: Vec<KeyId>,
 }
 
 /// MIMIR bucketed stack-distance estimator (byte-weighted).
@@ -41,10 +51,12 @@ struct Bucket {
 #[derive(Debug, Clone)]
 pub struct Mimir {
     buckets: VecDeque<Bucket>,
-    /// key → (bucket tag, footprint bytes).
-    keys: HashMap<KeyId, (u64, u64)>,
+    /// key → (bucket tag, footprint bytes). Deterministic integer hashing:
+    /// iteration is never exposed, but probe cost is on the per-request
+    /// path once the adaptive profiler switches over.
+    keys: FastIntMap<KeyId, (u64, u64)>,
     num_buckets: usize,
-    /// Front bucket splits when it holds this many keys.
+    /// Front bucket splits once it has received this many insertions.
     bucket_capacity: u64,
     next_tag: u64,
 }
@@ -67,10 +79,11 @@ impl Mimir {
             tag: 0,
             count: 0,
             bytes: 0,
+            members: Vec::new(),
         });
         Mimir {
             buckets,
-            keys: HashMap::new(),
+            keys: FastIntMap::default(),
             num_buckets,
             bucket_capacity,
             next_tag: 1,
@@ -87,7 +100,7 @@ impl Mimir {
     pub fn record(&mut self, key: KeyId, bytes: u64) -> Option<u64> {
         let estimate = match self.keys.get(&key).copied() {
             Some((tag, old_bytes)) => {
-                match self.bucket_index_with_floor(tag) {
+                match self.bucket_index(tag) {
                     Some(idx) => {
                         // Weight of strictly hotter buckets + half own bucket.
                         let hotter: u64 = self.buckets.iter().take(idx).map(|b| b.bytes).sum();
@@ -98,8 +111,9 @@ impl Mimir {
                         Some(hotter + half.max(old_bytes))
                     }
                     None => {
-                        // Unreachable given the floor rule, but stay safe:
-                        // treat a stale entry as cold.
+                        // Unreachable — eviction removes a key from `keys`
+                        // when its bucket retires — but stay safe: treat a
+                        // stale entry as cold.
                         self.keys.remove(&key);
                         None
                     }
@@ -121,10 +135,14 @@ impl Mimir {
         let front = self.buckets.front_mut().expect("at least one bucket");
         front.count += 1;
         front.bytes += bytes;
+        front.members.push(key);
         let front_tag = front.tag;
         self.keys.insert(key, (front_tag, bytes));
 
-        if front.count >= self.bucket_capacity {
+        // Split on *insertions* (members), not the live count: a re-access
+        // inside the front bucket leaves the count unchanged but still adds
+        // a member entry, and the split is what bounds member-list memory.
+        if front.members.len() as u64 >= self.bucket_capacity {
             // Open a new front bucket.
             let tag = self.next_tag;
             self.next_tag += 1;
@@ -132,29 +150,24 @@ impl Mimir {
                 tag,
                 count: 0,
                 bytes: 0,
+                members: Vec::new(),
             });
             if self.buckets.len() > self.num_buckets {
-                // Merge the two oldest buckets ("rounder" aging). The
-                // survivor keeps the *newer* tag; keys still holding the
-                // dropped older tag resolve to the back bucket through the
-                // floor rule in `bucket_index_with_floor`.
+                // Retire the oldest bucket ("rounder" aging with eviction):
+                // any key still living in it leaves the tracked population
+                // and reads as cold on its next access. Member entries are
+                // lazy — a key re-accessed since it was inserted here holds
+                // a newer tag in `keys` and survives.
                 let oldest = self.buckets.pop_back().expect("buckets nonempty");
-                let second = self.buckets.back_mut().expect("buckets nonempty");
-                second.count += oldest.count;
-                second.bytes += oldest.bytes;
+                if oldest.count > 0 {
+                    for k in oldest.members {
+                        if self.keys.get(&k).is_some_and(|&(t, _)| t <= oldest.tag) {
+                            self.keys.remove(&k);
+                        }
+                    }
+                }
             }
         }
-    }
-
-    /// Like [`bucket_index`](Self::bucket_index) but mapping any tag at or
-    /// below the back bucket's tag to the back bucket (merged history).
-    fn bucket_index_with_floor(&self, tag: u64) -> Option<usize> {
-        if let Some(back) = self.buckets.back() {
-            if tag <= back.tag {
-                return Some(self.buckets.len() - 1);
-            }
-        }
-        self.bucket_index(tag)
     }
 }
 
@@ -240,6 +253,38 @@ mod tests {
             (0.5..2.0).contains(&ratio),
             "MIMIR estimate off by {ratio}x"
         );
+    }
+
+    #[test]
+    fn eviction_bounds_tracked_population() {
+        let mut m = Mimir::new(4, 8);
+        for k in 0..10_000 {
+            m.record(KeyId(k), 1);
+        }
+        // Rounder aging evicts: the population never exceeds
+        // num_buckets × bucket_capacity, however many distinct keys flow by.
+        assert!(m.tracked_keys() <= 32, "tracked {}", m.tracked_keys());
+        // A long-evicted key reads as cold again.
+        assert_eq!(m.record(KeyId(0), 1), None);
+    }
+
+    #[test]
+    fn reaccess_hammering_still_rotates_buckets() {
+        // A single hot key re-accessed forever keeps the front bucket's
+        // live count at 1; the split must still trigger (on insertions) or
+        // the member list would grow without bound.
+        let mut m = Mimir::new(4, 4);
+        for _ in 0..1_000 {
+            m.record(KeyId(7), 1);
+        }
+        for b in &m.buckets {
+            assert!(
+                b.members.len() <= 4,
+                "member list grew to {}",
+                b.members.len()
+            );
+        }
+        assert_eq!(m.tracked_keys(), 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod costmodel;
 pub mod error;
 pub mod hashutil;
 pub mod json;
+pub mod nodemap;
 pub mod par;
 pub mod rng;
 pub mod stats;
@@ -32,6 +33,7 @@ pub mod time;
 
 pub use bytesize::ByteSize;
 pub use error::ElmemError;
+pub use nodemap::NodeMap;
 pub use rng::DetRng;
 pub use telemetry::{EventTrace, LatencyHistogram, TelemetryConfig};
 pub use time::SimTime;

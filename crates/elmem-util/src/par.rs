@@ -14,6 +14,41 @@
 //! Both the experiment sweep harness (`elmem-bench::sweep`) and the
 //! migration planner (`elmem-core::migration`) are built on this.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count used by library-internal fan-outs (prefill, probe rounds)
+/// when the caller doesn't pass one explicitly. `0` = unset.
+static PAR_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment variable consulted by [`par_jobs`] when no explicit count
+/// has been set — the same knob the bench sweep harness honors.
+pub const PAR_JOBS_ENV: &str = "ELMEM_JOBS";
+
+/// Sets the worker count returned by [`par_jobs`]. `jobs = 1` forces every
+/// internal fan-out onto the serial reference path (the byte-identity
+/// baseline); `0` resets to the env-var/core-count default.
+pub fn set_par_jobs(jobs: usize) {
+    PAR_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count for library-internal fan-outs: the value installed by
+/// [`set_par_jobs`], else `ELMEM_JOBS`, else the rayon pool size. Always
+/// at least 1.
+pub fn par_jobs() -> usize {
+    let v = PAR_JOBS.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    if let Ok(s) = std::env::var(PAR_JOBS_ENV) {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    rayon::current_num_threads().max(1)
+}
+
 /// Runs `f` over every item, on up to `jobs` worker threads, returning
 /// the results in item order.
 ///
